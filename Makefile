@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover fuzz bench experiments drawings clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+fuzz:
+	$(GO) test ./internal/graph/ -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/graph/ -fuzz FuzzReadEdgeList -fuzztime 15s
+	$(GO) test ./internal/graph/ -fuzz FuzzReadMatrixMarket -fuzztime 15s
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full evaluation: every table and figure plus extension experiments.
+# Scale up with FACTOR on bigger machines.
+FACTOR ?= 1
+experiments:
+	$(GO) run ./cmd/hdebench -exp all -factor $(FACTOR) -out drawings
+
+drawings:
+	$(GO) run ./examples/drawing -out drawings
+
+clean:
+	rm -rf drawings test_output.txt bench_output.txt

@@ -1,0 +1,117 @@
+// Command gengraph generates the synthetic test graphs used in the
+// evaluation and writes them as edge lists or binary CSR files, so large
+// inputs are built once and reused across benchmark runs.
+//
+// Usage:
+//
+//	gengraph -kind kron -scale 20 -degree 16 -o kron20.bin -format bin
+//	gengraph -kind plate -rows 200 -cols 200 -o plate.txt
+//
+// Kinds: urand, kron, chunglu, web, smallworld, ba, rgg, grid, road, mesh3d,
+// powergrid, county, plate, path, cycle, star, tree.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind   = flag.String("kind", "urand", "generator kind")
+		scale  = flag.Int("scale", 16, "log2 vertex count (urand, kron)")
+		n      = flag.Int("n", 100000, "vertex count (chunglu, web, path, cycle, star, tree)")
+		degree = flag.Int("degree", 16, "average degree")
+		gamma  = flag.Float64("gamma", 2.1, "power-law exponent (chunglu)")
+		rows   = flag.Int("rows", 300, "rows (grid, road, powergrid, county, plate)")
+		cols   = flag.Int("cols", 300, "cols (grid, road, powergrid, county, plate)")
+		dim3   = flag.Int("z", 24, "third dimension (mesh3d)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		maxW   = flag.Int("weights", 0, "attach random integer weights in [1,maxW] (0 = unweighted)")
+		out    = flag.String("o", "", "output path (required)")
+		format = flag.String("format", "edges", "output format: edges, bin")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -o")
+	}
+
+	var g *graph.CSR
+	switch *kind {
+	case "urand":
+		g = gen.Urand(*scale, *degree, *seed)
+	case "kron":
+		g = gen.Kron(*scale, *degree, *seed)
+	case "chunglu":
+		g = gen.ChungLu(*n, *degree, *gamma, *seed)
+	case "web":
+		g = gen.WebGraph(*n, *degree, *seed)
+	case "smallworld":
+		g = gen.WattsStrogatz(*n, *degree, 0.1, *seed)
+	case "ba":
+		g = gen.BarabasiAlbert(*n, *degree/2, *seed)
+	case "rgg":
+		g = gen.RandomGeometric(*n, 0.03, *seed)
+	case "grid":
+		g = gen.Grid2D(*rows, *cols)
+	case "road":
+		g = gen.Road(*rows, *cols, *seed)
+	case "mesh3d":
+		g = gen.Mesh3D(*rows, *cols, *dim3)
+	case "powergrid":
+		g = gen.PowerGrid(*rows, *cols, *seed)
+	case "county":
+		g = gen.CountyMesh(*rows, *cols, *seed)
+	case "plate":
+		g = gen.PlateWithHoles(*rows, *cols)
+	case "path":
+		g = gen.Path(*n)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "tree":
+		g = gen.BinaryTree(*n)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *maxW > 0 {
+		g = gen.WithRandomWeights(g, *maxW, *seed^0x5bd1e995)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	switch *format {
+	case "edges":
+		err = graph.WriteEdgeList(w, g)
+	case "bin":
+		err = graph.WriteBinary(w, g)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: n=%d m=%d weighted=%v -> %s\n", *kind, g.NumV, g.NumEdges(), g.Weighted(), *out)
+	return nil
+}

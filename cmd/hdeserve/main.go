@@ -1,0 +1,76 @@
+// Command hdeserve runs the §4.5.2 browser-based interactive layout
+// viewer: it lays out a graph with ParHDE once, then serves the global
+// drawing plus on-demand zoomed neighborhood layouts over HTTP.
+//
+// Usage:
+//
+//	hdeserve -in graph.txt -addr :8080
+//	hdeserve -demo            # built-in plate mesh, no input file
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input graph file (edge list)")
+		format = flag.String("format", "edges", "input format: edges, mtx, bin")
+		demo   = flag.Bool("demo", false, "serve the built-in plate-with-holes demo mesh")
+		s      = flag.Int("s", 50, "subspace dimension")
+		addr   = flag.String("addr", "localhost:8080", "listen address")
+	)
+	flag.Parse()
+
+	var g *graph.CSR
+	switch {
+	case *demo:
+		g = gen.PlateWithHoles(120, 120)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch *format {
+		case "bin":
+			g, err = graph.ReadBinary(bufio.NewReader(f))
+		case "edges", "mtx":
+			var n int
+			var edges []graph.Edge
+			if *format == "edges" {
+				n, edges, err = graph.ReadEdgeList(bufio.NewReader(f))
+			} else {
+				n, edges, err = graph.ReadMatrixMarket(bufio.NewReader(f))
+			}
+			if err == nil {
+				g, err = graph.FromEdges(n, edges, graph.BuildOptions{})
+			}
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(g, core.Options{Subspace: *s, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving layout of n=%d m=%d on http://%s/", g.NumV, g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

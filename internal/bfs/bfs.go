@@ -1,0 +1,260 @@
+package bfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Unreached marks vertices not reached by a traversal.
+const Unreached = int32(-1)
+
+// Default direction-switch parameters from the GAP BFS (Beamer's α and β).
+const (
+	DefaultAlpha = 15
+	DefaultBeta  = 18
+)
+
+// Stats reports what a traversal did — the raw material of the paper's
+// BFS-phase breakdowns (Fig. 5 middle) and the γ work-reduction factor of
+// Table 1.
+type Stats struct {
+	Levels        int   // eccentricity of the source + 1 iterations
+	TopDownSteps  int   // levels run in top-down mode
+	BottomUpSteps int   // levels run in bottom-up mode
+	ScannedEdges  int64 // adjacency entries actually examined
+}
+
+// Options configures a traversal.
+type Options struct {
+	Alpha int64 // top-down → bottom-up switch threshold (0 = DefaultAlpha)
+	Beta  int64 // bottom-up → top-down switch threshold (0 = DefaultBeta)
+	// ForceTopDown disables the bottom-up direction entirely, yielding a
+	// plain level-synchronous parallel BFS (used for ablation benches).
+	ForceTopDown bool
+}
+
+// Runner holds the reusable state for repeated traversals over one graph,
+// so the s searches of the BFS phase don't reallocate frontiers — the
+// paper stresses the O(sn) distance storage is the dominant extra memory.
+type Runner struct {
+	g       *graph.CSR
+	opt     Options
+	front   *Bitmap // current frontier (bottom-up)
+	next    *Bitmap // next frontier (bottom-up)
+	queue   []int32 // current frontier (top-down)
+	nextQ   [][]int32
+	workers int
+}
+
+// NewRunner creates a Runner for g.
+func NewRunner(g *graph.CSR, opt Options) *Runner {
+	if opt.Alpha <= 0 {
+		opt.Alpha = DefaultAlpha
+	}
+	if opt.Beta <= 0 {
+		opt.Beta = DefaultBeta
+	}
+	w := parallel.Workers()
+	return &Runner{
+		g:       g,
+		opt:     opt,
+		front:   NewBitmap(g.NumV),
+		next:    NewBitmap(g.NumV),
+		queue:   make([]int32, 0, 1024),
+		nextQ:   make([][]int32, w),
+		workers: w,
+	}
+}
+
+// Distances runs a BFS from src, writing hop counts into dist (length
+// NumV, filled with Unreached for unreachable vertices) and returning
+// traversal statistics. dist may be a column of the HDE distance matrix B;
+// the write pattern is atomic-free for distances (a CAS claims each vertex
+// once, then the distance store is unconditional), matching §3.1.
+func (r *Runner) Distances(src int32, dist []int32) Stats {
+	g := r.g
+	n := g.NumV
+	parallel.For(n, func(i int) { dist[i] = Unreached })
+	dist[src] = 0
+
+	var st Stats
+	level := int32(0)
+	// frontier state: either queue (top-down) or bitmap (bottom-up)
+	r.queue = append(r.queue[:0], src)
+	bottomUp := false
+	frontierSize := int64(1)
+	frontierEdges := int64(g.Degree(src))
+	unexploredEdges := int64(len(g.Adj)) - frontierEdges
+
+	for frontierSize > 0 {
+		st.Levels++
+		if !r.opt.ForceTopDown {
+			if !bottomUp && frontierEdges > unexploredEdges/r.opt.Alpha {
+				// Switch: materialize the frontier bitmap from the queue.
+				r.front.Reset()
+				q := r.queue
+				parallel.For(len(q), func(i int) { r.front.Set(q[i]) })
+				bottomUp = true
+			} else if bottomUp && frontierSize < int64(n)/r.opt.Beta {
+				// Switch back: rebuild the queue from the bitmap.
+				r.rebuildQueue(level)
+				bottomUp = false
+			}
+		}
+		var nf, ne, scanned int64
+		if bottomUp {
+			nf, ne, scanned = r.bottomUpStep(level, dist)
+			st.BottomUpSteps++
+		} else {
+			nf, ne, scanned = r.topDownStep(level, dist)
+			st.TopDownSteps++
+		}
+		st.ScannedEdges += scanned
+		unexploredEdges -= ne
+		frontierSize, frontierEdges = nf, ne
+		level++
+	}
+	return st
+}
+
+// topDownStep expands the queue frontier, claiming unvisited neighbors
+// with a CAS on their distance slot. Returns the next frontier size, its
+// total degree, and the number of adjacency entries scanned.
+func (r *Runner) topDownStep(level int32, dist []int32) (nf, ne, scanned int64) {
+	g := r.g
+	q := r.queue
+	w := r.workers
+	var totNF, totNE, totScan int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			local := r.nextQ[wk][:0]
+			var localNE, localScan int64
+			lo := wk * len(q) / w
+			hi := (wk + 1) * len(q) / w
+			for _, u := range q[lo:hi] {
+				adj := g.Adj[g.Offsets[u]:g.Offsets[u+1]]
+				localScan += int64(len(adj))
+				for _, v := range adj {
+					if atomic.LoadInt32(&dist[v]) == Unreached &&
+						atomic.CompareAndSwapInt32(&dist[v], Unreached, level+1) {
+						local = append(local, v)
+						localNE += g.Offsets[v+1] - g.Offsets[v]
+					}
+				}
+			}
+			r.nextQ[wk] = local
+			atomic.AddInt64(&totNF, int64(len(local)))
+			atomic.AddInt64(&totNE, localNE)
+			atomic.AddInt64(&totScan, localScan)
+		}(wk)
+	}
+	wg.Wait()
+	// Concatenate per-worker buffers into the next queue.
+	r.queue = r.queue[:0]
+	for wk := 0; wk < w; wk++ {
+		r.queue = append(r.queue, r.nextQ[wk]...)
+	}
+	return totNF, totNE, totScan
+}
+
+// bottomUpStep has every unvisited vertex scan its own adjacency for a
+// parent on the current level (held in dist), stopping at the first hit —
+// the step that slashes edge traffic on low-diameter skewed graphs.
+func (r *Runner) bottomUpStep(level int32, dist []int32) (nf, ne, scanned int64) {
+	g := r.g
+	r.next.Reset()
+	var totNF, totNE, totScan int64
+	parallel.ForBlock(g.NumV, func(lo, hi int) {
+		var localNF, localNE, localScan int64
+		for v := lo; v < hi; v++ {
+			if dist[v] != Unreached {
+				continue
+			}
+			adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+			for k, u := range adj {
+				// Membership in the frontier bitmap (fully built before this
+				// phase's barrier) is the parent test; consulting dist here
+				// would race with other workers claiming their own vertices.
+				if r.front.Get(u) {
+					dist[v] = level + 1
+					r.next.Set(int32(v))
+					localNF++
+					localNE += g.Offsets[v+1] - g.Offsets[v]
+					localScan += int64(k + 1)
+					break
+				}
+				if k == len(adj)-1 {
+					localScan += int64(len(adj))
+				}
+			}
+		}
+		atomic.AddInt64(&totNF, localNF)
+		atomic.AddInt64(&totNE, localNE)
+		atomic.AddInt64(&totScan, localScan)
+	})
+	r.front.Swap(r.next)
+	return totNF, totNE, totScan
+}
+
+// rebuildQueue converts the bitmap frontier (vertices at the given level)
+// back into queue form.
+func (r *Runner) rebuildQueue(level int32) {
+	g := r.g
+	w := r.workers
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			local := r.nextQ[wk][:0]
+			lo := wk * g.NumV / w
+			hi := (wk + 1) * g.NumV / w
+			for v := lo; v < hi; v++ {
+				if r.front.Get(int32(v)) {
+					local = append(local, int32(v))
+				}
+			}
+			r.nextQ[wk] = local
+		}(wk)
+	}
+	wg.Wait()
+	r.queue = r.queue[:0]
+	for wk := 0; wk < w; wk++ {
+		r.queue = append(r.queue, r.nextQ[wk]...)
+	}
+}
+
+// Serial runs a textbook sequential BFS from src into dist, returning the
+// number of levels. It is both the correctness oracle for the parallel
+// traversal and the traversal used by the prior-work baseline, which "does
+// not use parallel BFS" (§4.2).
+func Serial(g *graph.CSR, src int32, dist []int32) int {
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := make([]int32, 1, 1024)
+	queue[0] = src
+	levels := 0
+	for len(queue) > 0 {
+		levels++
+		var next []int32
+		for _, u := range queue {
+			d := dist[u]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == Unreached {
+					dist[v] = d + 1
+					next = append(next, v)
+				}
+			}
+		}
+		queue = next
+	}
+	return levels
+}

@@ -1,0 +1,108 @@
+package bfs
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// MSBFS runs up to 64 breadth-first searches simultaneously using
+// bit-parallel frontiers (the multi-source BFS of Then et al.): each
+// vertex carries a 64-bit mask of the searches that have reached it, so
+// one pass over an adjacency list advances every search at once. This is
+// the natural engine for the random-pivots strategy (§4.4, Table 6) when
+// the number of pivots exceeds the core count: the s distance vectors are
+// produced in ⌈s/64⌉ passes whose memory traffic is shared across
+// sources.
+//
+// dists must have one row (length NumV) per source. Unreached vertices
+// keep Unreached.
+func MSBFS(g *graph.CSR, sources []int32, dists [][]int32) Stats {
+	if len(sources) > 64 {
+		panic("bfs: MSBFS supports at most 64 sources per batch")
+	}
+	if len(dists) < len(sources) {
+		panic("bfs: MSBFS needs one distance row per source")
+	}
+	n := g.NumV
+	for s := range sources {
+		d := dists[s]
+		parallel.For(n, func(i int) { d[i] = Unreached })
+	}
+	seen := make([]uint64, n)     // searches that have reached each vertex
+	frontier := make([]uint64, n) // searches whose current level includes the vertex
+	next := make([]uint64, n)
+
+	for s, src := range sources {
+		bit := uint64(1) << uint(s)
+		seen[src] |= bit
+		frontier[src] |= bit
+		dists[s][src] = 0
+	}
+
+	var st Stats
+	level := int32(0)
+	active := true
+	for active {
+		st.Levels++
+		level++
+		var scanned int64
+		var any int64
+		parallel.ForBlock(n, func(lo, hi int) {
+			var localScan int64
+			var localAny int64
+			for v := lo; v < hi; v++ {
+				f := frontier[v]
+				if f == 0 {
+					continue
+				}
+				adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+				localScan += int64(len(adj))
+				for _, u := range adj {
+					// Searches in f that have not yet reached u.
+					for {
+						old := atomic.LoadUint64(&seen[u])
+						newBits := f &^ old
+						if newBits == 0 {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&seen[u], old, old|newBits) {
+							// Claimed newBits for u: record distances and
+							// queue u for those searches.
+							for b := newBits; b != 0; b &= b - 1 {
+								dists[bits.TrailingZeros64(b)][u] = level
+							}
+							atomicOr(&next[u], newBits)
+							localAny = 1
+							break
+						}
+					}
+				}
+			}
+			atomic.AddInt64(&scanned, localScan)
+			atomic.AddInt64(&any, localAny)
+		})
+		st.ScannedEdges += scanned
+		st.TopDownSteps++
+		frontier, next = next, frontier
+		parallel.For(n, func(i int) { next[i] = 0 })
+		active = any != 0
+	}
+	st.Levels-- // last round discovered nothing
+	return st
+}
+
+// atomicOr ORs mask into *addr.
+func atomicOr(addr *uint64, mask uint64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask == mask {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// twoCliques builds two K_k cliques joined by a single bridge edge.
+func twoCliques(t *testing.T, k int) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+			edges = append(edges, graph.Edge{U: int32(k + i), V: int32(k + j)})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: int32(k)})
+	g, err := graph.FromEdges(2*k, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLabelPropagationSeparatesCliques(t *testing.T) {
+	g := twoCliques(t, 10)
+	labels, clusters := LabelPropagation(g, Options{Seed: 1})
+	if clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", clusters)
+	}
+	for i := 1; i < 10; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("clique 1 split at %d", i)
+		}
+		if labels[10+i] != labels[10] {
+			t.Fatalf("clique 2 split at %d", i)
+		}
+	}
+	if labels[0] == labels[10] {
+		t.Fatal("cliques merged")
+	}
+}
+
+func TestModularityCliquesVsRandomLabels(t *testing.T) {
+	g := twoCliques(t, 12)
+	labels, _ := LabelPropagation(g, Options{Seed: 2})
+	q := Modularity(g, labels)
+	if q < 0.4 {
+		t.Fatalf("clique modularity %.3f too low", q)
+	}
+	// Everything in one community: modularity ≈ 0 by definition.
+	one := make([]int32, g.NumV)
+	if q1 := Modularity(g, one); q1 > 0.01 || q1 < -0.01 {
+		t.Fatalf("single-community modularity %.3f, want ~0", q1)
+	}
+	// Random labels should score well below the detected clustering.
+	rnd := graph.RandomPermutation(g.NumV, 3)
+	rl := make([]int32, g.NumV)
+	for i := range rl {
+		rl[i] = rnd[i] % 4
+	}
+	if qr := Modularity(g, rl); qr >= q {
+		t.Fatalf("random labels modularity %.3f not below detected %.3f", qr, q)
+	}
+}
+
+func TestLabelPropagationWebCommunities(t *testing.T) {
+	g := gen.WebGraph(5000, 14, 7)
+	labels, clusters := LabelPropagation(g, Options{Seed: 4})
+	if clusters < 5 || clusters >= g.NumV {
+		t.Fatalf("clusters = %d", clusters)
+	}
+	q := Modularity(g, labels)
+	if q < 0.2 {
+		t.Fatalf("web modularity %.3f — host structure not detected", q)
+	}
+	// Labels compact.
+	for _, l := range labels {
+		if l < 0 || int(l) >= clusters {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := gen.Kron(8, 8, 2)
+	a, ca := LabelPropagation(g, Options{Seed: 5})
+	b, cb := LabelPropagation(g, Options{Seed: 5})
+	if ca != cb {
+		t.Fatal("cluster counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("labels differ across runs")
+		}
+	}
+}
+
+func TestModularityPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Modularity(gen.Path(4), []int32{0})
+}

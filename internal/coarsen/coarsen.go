@@ -1,0 +1,206 @@
+// Package coarsen implements the multilevel paradigm the paper names as
+// its main future-work direction ("we will adapt ParHDE to be compatible
+// with the multilevel approach", §5) and which the prior work [27, 33]
+// already used: heavy-edge-matching graph coarsening, the coarse-to-fine
+// prolongation of vertex coordinates, and the level hierarchy that a
+// multilevel layout driver walks.
+package coarsen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Level is one rung of a coarsening hierarchy.
+type Level struct {
+	G *graph.CSR
+	// Map[v] is the coarse vertex that fine vertex v collapsed into
+	// (indices into the next-coarser level's graph). nil for the coarsest
+	// level.
+	Map []int32
+}
+
+// Options controls hierarchy construction.
+type Options struct {
+	// MinVertices stops coarsening once a level is at most this size
+	// (default 64).
+	MinVertices int
+	// MaxLevels bounds the hierarchy depth (default 30).
+	MaxLevels int
+	// MinShrink aborts when a level fails to shrink by at least this
+	// factor (default 0.9: a level must lose ≥10% of vertices), which
+	// guards against matching-resistant graphs (stars) looping forever.
+	MinShrink float64
+	// Seed randomizes the matching visit order.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinVertices <= 1 {
+		o.MinVertices = 64
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 30
+	}
+	if o.MinShrink <= 0 || o.MinShrink >= 1 {
+		o.MinShrink = 0.9
+	}
+	return o
+}
+
+// Hierarchy is a sequence of levels, finest first.
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Coarsest returns the smallest graph in the hierarchy.
+func (h *Hierarchy) Coarsest() *graph.CSR {
+	return h.Levels[len(h.Levels)-1].G
+}
+
+// Build constructs a coarsening hierarchy for g by repeated heavy-edge
+// matching: unmatched vertices (visited in a pseudo-random order) pair
+// with their heaviest unmatched neighbor; matched pairs collapse into one
+// coarse vertex and parallel coarse edges merge by weight addition, so
+// coarse edge weights approximate how many fine edges they stand for.
+// The input graph is always Level 0, unmodified.
+func Build(g *graph.CSR, opt Options) (*Hierarchy, error) {
+	opt = opt.withDefaults()
+	if g.NumV == 0 {
+		return nil, fmt.Errorf("coarsen: empty graph")
+	}
+	h := &Hierarchy{}
+	cur := g
+	for len(h.Levels) < opt.MaxLevels && cur.NumV > opt.MinVertices {
+		match := heavyEdgeMatching(cur, opt.Seed+uint64(len(h.Levels)))
+		coarse, cmap := contract(cur, match)
+		if float64(coarse.NumV) > opt.MinShrink*float64(cur.NumV) {
+			// Not shrinking: record the level unmapped and stop.
+			break
+		}
+		h.Levels = append(h.Levels, Level{G: cur, Map: cmap})
+		cur = coarse
+	}
+	h.Levels = append(h.Levels, Level{G: cur})
+	return h, nil
+}
+
+// heavyEdgeMatching computes a maximal matching preferring heavy edges.
+// match[v] = partner, or v itself for unmatched vertices.
+func heavyEdgeMatching(g *graph.CSR, seed uint64) []int32 {
+	n := g.NumV
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := graph.RandomPermutation(n, seed)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		bestW := -1.0
+		best := int32(-1)
+		adj := g.Neighbors(v)
+		for k, u := range adj {
+			if match[u] >= 0 {
+				continue
+			}
+			w := 1.0
+			if g.Weighted() {
+				w = g.NeighborWeights(v)[k]
+			}
+			if w > bestW {
+				bestW, best = w, u
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	return match
+}
+
+// contract collapses matched pairs into coarse vertices. Coarse ids are
+// assigned in fine-id order (the lower endpoint of each pair claims the
+// id), preserving the locality of the fine ordering as far as possible —
+// the property §4.4 shows matters for SpMM.
+func contract(g *graph.CSR, match []int32) (*graph.CSR, []int32) {
+	n := g.NumV
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nc int32
+	for v := 0; v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		u := match[v]
+		cmap[v] = nc
+		if u >= 0 && int(u) != v {
+			cmap[u] = nc
+		}
+		nc++
+	}
+	edges := make([]graph.Edge, 0, len(g.Adj)/2)
+	for v := int32(0); int(v) < n; v++ {
+		for k, u := range g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			cu, cv := cmap[u], cmap[v]
+			if cu == cv {
+				continue // internal edge disappears
+			}
+			w := 1.0
+			if g.Weighted() {
+				w = g.NeighborWeights(v)[k]
+			}
+			edges = append(edges, graph.Edge{U: cv, V: cu, W: w})
+		}
+	}
+	coarse, err := fromEdgesSummed(int(nc), edges)
+	if err != nil {
+		panic("coarsen: contract produced invalid graph: " + err.Error())
+	}
+	return coarse, cmap
+}
+
+// fromEdgesSummed builds a weighted CSR where parallel edges merge by
+// adding weights (unlike graph.FromEdges's max-merge, addition is the
+// right semantics for contraction: a coarse edge represents the sum of
+// the fine similarities it bundles).
+func fromEdgesSummed(n int, edges []graph.Edge) (*graph.CSR, error) {
+	type key struct{ u, v int32 }
+	agg := make(map[key]float64, len(edges))
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		agg[key{u, v}] += e.W
+	}
+	merged := make([]graph.Edge, 0, len(agg))
+	for k, w := range agg {
+		merged = append(merged, graph.Edge{U: k.u, V: k.v, W: w})
+	}
+	return graph.FromEdges(n, merged, graph.BuildOptions{Weighted: true, KeepAllComponents: true})
+}
+
+// Prolong lifts coarse vertex values to the fine level: fine vertex v
+// inherits the value of Map[v]. Used to carry coordinates down the
+// hierarchy.
+func Prolong(level Level, coarseVals []float64) []float64 {
+	out := make([]float64, level.G.NumV)
+	for v := range out {
+		out[v] = coarseVals[level.Map[v]]
+	}
+	return out
+}

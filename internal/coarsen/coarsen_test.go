@@ -1,0 +1,158 @@
+package coarsen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestBuildShrinksToMinVertices(t *testing.T) {
+	g := gen.Grid2D(60, 60)
+	h, err := Build(g, Options{MinVertices: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) < 3 {
+		t.Fatalf("only %d levels for a 3600-vertex grid", len(h.Levels))
+	}
+	if h.Levels[0].G != g {
+		t.Fatal("level 0 must be the input graph")
+	}
+	for i := 1; i < len(h.Levels); i++ {
+		prev, cur := h.Levels[i-1].G, h.Levels[i].G
+		if cur.NumV >= prev.NumV {
+			t.Fatalf("level %d did not shrink: %d -> %d", i, prev.NumV, cur.NumV)
+		}
+	}
+	if c := h.Coarsest(); c.NumV > 2*100 {
+		t.Fatalf("coarsest level %d vertices, expected near %d", c.NumV, 100)
+	}
+}
+
+func TestMatchingIsValid(t *testing.T) {
+	g := gen.Kron(9, 8, 3)
+	match := heavyEdgeMatching(g, 7)
+	for v := int32(0); int(v) < g.NumV; v++ {
+		u := match[v]
+		if u < 0 || int(u) >= g.NumV {
+			t.Fatalf("match[%d] = %d out of range", v, u)
+		}
+		if u != v {
+			if match[u] != v {
+				t.Fatalf("matching not symmetric: match[%d]=%d but match[%d]=%d", v, u, u, match[u])
+			}
+			if !g.HasEdge(v, u) {
+				t.Fatalf("matched pair {%d,%d} not an edge", v, u)
+			}
+		}
+	}
+}
+
+func TestContractionPreservesStructure(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	err := quick.Check(func(seed int64) bool {
+		rows := 4 + int(uint64(seed)%20)
+		g := gen.Grid2D(rows, rows)
+		h, err := Build(g, Options{MinVertices: 4, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		for i, lvl := range h.Levels {
+			if err := lvl.G.Validate(); err != nil {
+				return false
+			}
+			// Connectivity is preserved by contraction.
+			if _, count := graph.Components(lvl.G); count != 1 {
+				return false
+			}
+			if i+1 < len(h.Levels) {
+				// Every fine vertex maps into the coarse vertex range, and
+				// every coarse edge comes from some fine edge crossing
+				// the partition.
+				coarse := h.Levels[i+1].G
+				for _, c := range lvl.Map {
+					if c < 0 || int(c) >= coarse.NumV {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarseEdgesAggregateWeights(t *testing.T) {
+	// A 4-cycle with one heavy edge: matching collapses two pairs; the two
+	// coarse vertices must be connected with total inter-pair weight.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 10}, // heavy: matched first
+		{U: 1, V: 2, W: 1},
+		{U: 2, V: 3, W: 10},
+		{U: 3, V: 0, W: 1},
+	}
+	g, err := graph.FromEdges(4, edges, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Build(g, Options{MinVertices: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Levels[1].G
+	if c.NumV != 2 || c.NumEdges() != 1 {
+		t.Fatalf("coarse graph n=%d m=%d", c.NumV, c.NumEdges())
+	}
+	// The inter-pair weight must be the sum of the two light edges (2) —
+	// heavy edges are inside the matched pairs.
+	if w := c.NeighborWeights(0)[0]; w != 2 {
+		t.Fatalf("coarse weight %g, want 2", w)
+	}
+}
+
+func TestStarResistsCollapse(t *testing.T) {
+	// A star only matches one leaf per round; MinShrink must stop the
+	// hierarchy rather than looping.
+	g := gen.Star(1000)
+	h, err := Build(g, Options{MinVertices: 4, Seed: 2, MaxLevels: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) >= 100 {
+		t.Fatalf("hierarchy did not terminate early: %d levels", len(h.Levels))
+	}
+}
+
+func TestProlong(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	h, err := Build(g, Options{MinVertices: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := h.Levels[0]
+	coarseN := h.Levels[1].G.NumV
+	vals := make([]float64, coarseN)
+	for i := range vals {
+		vals[i] = float64(i) * 2
+	}
+	fine := Prolong(lvl, vals)
+	if len(fine) != g.NumV {
+		t.Fatalf("prolonged length %d", len(fine))
+	}
+	for v, x := range fine {
+		if x != vals[lvl.Map[v]] {
+			t.Fatalf("prolong wrong at %d", v)
+		}
+	}
+}
+
+func TestBuildEmptyGraphErrors(t *testing.T) {
+	g := &graph.CSR{NumV: 0, Offsets: []int64{0}}
+	if _, err := Build(g, Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: ParHDE, the
+// shared-memory parallel High-Dimensional Embedding graph-layout algorithm
+// (ICPP'20 Algorithm 3), together with the closely related PHDE and
+// PivotMDS parallelizations (§3.2), the weighted-graph extension (§3.3),
+// the prior-work baseline it is evaluated against (§4.2), and the §4.5
+// extensions: zoomed neighborhood layout, plain-orthogonalization
+// eigen-projection, and centroid refinement toward true eigenvectors.
+package core
+
+import (
+	"repro/internal/bfs"
+	"repro/internal/ortho"
+	"repro/internal/pivot"
+)
+
+// DefaultSubspace is the default subspace dimension s. The paper uses 10
+// for timing runs and notes 50 is a common choice in HDE.
+const DefaultSubspace = 10
+
+// Options configures a ParHDE run.
+type Options struct {
+	// Subspace is s, the number of pivots / BFS distance vectors.
+	Subspace int
+	// Dims is the layout dimensionality p (2 by default; the paper fixes
+	// p=2 but the code supports p ≤ kept-columns).
+	Dims int
+	// Ortho selects Modified (default) or Classical Gram-Schmidt for the
+	// DOrtho phase (Table 7).
+	Ortho ortho.Method
+	// PlainOrtho switches D-orthogonalization to plain orthogonalization,
+	// approximating Laplacian rather than degree-normalized eigenvectors
+	// (§4.5.1).
+	PlainOrtho bool
+	// Pivots selects k-centers (default) or random pivot selection
+	// (Table 6).
+	Pivots pivot.Strategy
+	// Seed determines the randomly-chosen start vertex and any random
+	// pivots; runs are deterministic for a fixed seed and worker count.
+	Seed uint64
+	// BFS tunes the direction-optimizing traversal.
+	BFS bfs.Options
+	// Delta is the Δ-stepping bucket width for weighted graphs; ≤ 0 uses
+	// the suggestion heuristic. Ignored for unweighted graphs.
+	Delta float64
+	// SkipConnectivityCheck suppresses the reachability verification after
+	// the first traversal (benchmarks on known-connected inputs).
+	SkipConnectivityCheck bool
+	// LS selects the TripleProd step-1 kernel (see LSKernel).
+	LS LSKernel
+	// Coupled interleaves the BFS and DOrtho phases: each distance vector
+	// is orthogonalized as soon as its traversal finishes and the raw
+	// distance matrix is never stored, cutting the O(sn) extra memory of
+	// Table 1 roughly in half. Only the default configuration supports it
+	// (MGS — the §4.4 capability CGS gives up — with k-centers pivots on
+	// an unweighted graph); the result is bitwise identical to the
+	// decoupled run.
+	Coupled bool
+}
+
+// LSKernel selects how P = L·S is computed.
+type LSKernel int
+
+const (
+	// LSAuto currently selects ColumnWise: the tiled kernel's advantage
+	// depends on the distance columns outsizing the last-level cache,
+	// which no portable heuristic can see (the ls ablation experiment
+	// measures the crossover per machine). Opt in with LSTiled.
+	LSAuto LSKernel = iota
+	// LSColumnWise runs s independent fused SpMVs (the paper's kernel).
+	LSColumnWise
+	// LSTiled repacks S row-major and advances all columns in one graph
+	// pass — the §3.1 "s ≫ 1" special-case optimization.
+	LSTiled
+)
+
+func (k LSKernel) String() string {
+	switch k {
+	case LSColumnWise:
+		return "columnwise"
+	case LSTiled:
+		return "tiled"
+	default:
+		return "auto"
+	}
+}
+
+// withDefaults normalizes zero values.
+func (o Options) withDefaults() Options {
+	if o.Subspace <= 0 {
+		o.Subspace = DefaultSubspace
+	}
+	if o.Dims <= 0 {
+		o.Dims = 2
+	}
+	return o
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bfs"
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/ortho"
+	"repro/internal/parallel"
+	"repro/internal/pivot"
+)
+
+// Report describes what a layout run did: the per-phase timing breakdown
+// and the algorithmic statistics the evaluation section charts.
+type Report struct {
+	Breakdown      Breakdown
+	Sources        []int32
+	KeptColumns    int
+	DroppedColumns int
+	// Eigenvalues are the projected-problem eigenvalues backing the chosen
+	// axes (ascending for ParHDE: approximations to the smallest
+	// non-degenerate generalized eigenvalues µ of Lu = µDu).
+	Eigenvalues []float64
+	BFSStats    []bfs.Stats
+}
+
+// ParHDE computes a p-dimensional layout of the connected graph g with the
+// parallel High-Dimensional Embedding algorithm (Algorithm 3): s
+// traversals from farthest-first (or random) pivots, D-orthogonalization
+// of the distance vectors, the fused triple product SᵀLS, a small
+// eigensolve, and the subspace projection.
+func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
+	opt = opt.withDefaults()
+	if g.NumV < 2 {
+		return nil, nil, fmt.Errorf("core: graph has %d vertices, need at least 2", g.NumV)
+	}
+	rep := &Report{}
+	bd := &rep.Breakdown
+	n := g.NumV
+	s := opt.Subspace
+	if s >= n {
+		s = n - 1
+	}
+
+	if opt.Coupled {
+		if g.Weighted() || opt.Pivots != pivot.KCenters || opt.Ortho != ortho.MGS {
+			return nil, nil, fmt.Errorf("core: coupled mode requires the default configuration (unweighted graph, k-centers pivots, MGS)")
+		}
+	}
+
+	var layout *Layout
+	var err error
+	timed(&bd.Total, func() {
+		var deg []float64
+		var sMat *linalg.Dense
+		var dNorms []float64
+		start := int32(splitmix(opt.Seed) % uint64(n))
+		onTrav := func(f func()) { timed(&bd.BFSTraversal, f) }
+		onOther := func(f func()) { timed(&bd.BFSOther, f) }
+
+		if opt.Coupled {
+			// --- Coupled BFS + DOrtho: each distance vector is consumed by
+			// incremental MGS as soon as its traversal finishes; the O(sn)
+			// distance matrix B is never materialized.
+			if !opt.PlainOrtho {
+				deg = g.WeightedDegrees()
+			}
+			var res ortho.Result
+			res, err = coupledPhase(g, s, start, deg, opt, rep, bd)
+			if err != nil {
+				return
+			}
+			rep.KeptColumns = len(res.Kept)
+			rep.DroppedColumns = res.Dropped
+			if res.S.Cols < opt.Dims {
+				err = fmt.Errorf("core: only %d independent distance vectors (need %d); increase the subspace dimension", res.S.Cols, opt.Dims)
+				return
+			}
+			sMat = res.S
+			dNorms = res.DNorms
+		} else {
+			// --- BFS phase -------------------------------------------------
+			b := linalg.NewDense(n, s)
+			var ps pivot.PhaseStats
+			if g.Weighted() {
+				ps = pivot.PhaseWeighted(g, b, start, opt.Delta, onTrav, onOther)
+			} else {
+				ps = pivot.Phase(g, b, start, opt.Pivots, opt.BFS, onTrav, onOther)
+			}
+			rep.Sources = ps.Sources
+			rep.BFSStats = ps.Traversal
+			if !opt.SkipConnectivityCheck {
+				col := b.Col(0)
+				for i := range col {
+					if col[i] < 0 || math.IsInf(col[i], 1) {
+						err = fmt.Errorf("core: graph is not connected (vertex %d unreachable from %d); extract the largest component first", i, ps.Sources[0])
+						return
+					}
+				}
+			}
+
+			// --- DOrtho phase ----------------------------------------------
+			timed(&bd.DOrtho, func() {
+				var d []float64
+				if !opt.PlainOrtho {
+					deg = g.WeightedDegrees()
+					d = deg
+				}
+				res := ortho.DOrthogonalize(b, d, opt.Ortho)
+				rep.KeptColumns = len(res.Kept)
+				rep.DroppedColumns = res.Dropped
+				layoutCols := opt.Dims
+				if res.S.Cols < layoutCols {
+					err = fmt.Errorf("core: only %d independent distance vectors (need %d); increase the subspace dimension", res.S.Cols, layoutCols)
+					return
+				}
+				b = nil // release the raw distance matrix reference
+				sMat = res.S
+				dNorms = res.DNorms
+			})
+			if err != nil {
+				return
+			}
+		}
+		if deg == nil {
+			deg = g.WeightedDegrees()
+		}
+
+		// --- TripleProd phase --------------------------------------------
+		var p *linalg.Dense
+		timed(&bd.LS, func() {
+			if opt.LS == LSTiled {
+				p = linalg.LapMulDenseTiled(g, deg, sMat)
+			} else {
+				p = linalg.LapMulDense(g, deg, sMat)
+			}
+		})
+		var z *linalg.Dense
+		timed(&bd.Gemm, func() { z = linalg.AtB(sMat, p) })
+
+		// --- Eigensolve ---------------------------------------------------
+		var axes *linalg.Dense
+		timed(&bd.Eigensolve, func() {
+			axes, rep.Eigenvalues, err = projectedAxes(z, dNorms, opt.Dims)
+		})
+		if err != nil {
+			return
+		}
+
+		// --- Projection [x, y] = S·Y --------------------------------------
+		timed(&bd.Project, func() {
+			layout = &Layout{Coords: linalg.MulSmall(sMat, axes)}
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return layout, rep, nil
+}
+
+// projectedAxes solves the projected generalized eigenproblem
+// (SᵀLS)y = µ(SᵀDS)y, where SᵀDS = diag(dNorms) because the columns are
+// D-orthogonal (not D-orthonormal — Algorithm 3 normalizes in the
+// Euclidean norm). Substituting y = T·z with T = diag(dNorms)^{-1/2}
+// gives the standard symmetric problem (TZT)z = µz; the p axes are the
+// back-substituted eigenvectors of the p smallest eigenvalues.
+func projectedAxes(z *linalg.Dense, dNorms []float64, dims int) (*linalg.Dense, []float64, error) {
+	k := z.Rows
+	t := make([]float64, k)
+	for i := range t {
+		if dNorms[i] <= 0 {
+			return nil, nil, fmt.Errorf("core: non-positive D-norm %g for column %d", dNorms[i], i)
+		}
+		t[i] = 1 / math.Sqrt(dNorms[i])
+	}
+	zs := linalg.NewDense(k, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < k; i++ {
+			zs.Set(i, j, z.At(i, j)*t[i]*t[j])
+		}
+	}
+	vals, vecs, err := eigen.BottomK(zs, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Back-substitute y = T·z.
+	for j := 0; j < vecs.Cols; j++ {
+		col := vecs.Col(j)
+		for i := range col {
+			col[i] *= t[i]
+		}
+	}
+	return vecs, vals, nil
+}
+
+// splitmix advances one splitmix64 step, used for the start-vertex draw.
+func splitmix(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// coupledPhase runs the k-centers BFS loop with incremental MGS: the same
+// traversals and source selection as the decoupled path (so pivots and
+// layout are bitwise identical) with each distance vector orthogonalized
+// immediately after its BFS and then discarded.
+func coupledPhase(g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown) (ortho.Result, error) {
+	n := g.NumV
+	runner := bfs.NewRunner(g, opt.BFS)
+	dist := make([]int32, n)
+	dmin := make([]int32, n)
+	parallelFillInt32(dmin, int32(1)<<30)
+	col := make([]float64, n)
+	inc := ortho.NewIncremental(n, deg)
+
+	src := start
+	for i := 0; i < s; i++ {
+		rep.Sources = append(rep.Sources, src)
+		var ts bfs.Stats
+		timed(&bd.BFSTraversal, func() { ts = runner.Distances(src, dist) })
+		rep.BFSStats = append(rep.BFSStats, ts)
+		if i == 0 && !opt.SkipConnectivityCheck {
+			for v := range dist {
+				if dist[v] == bfs.Unreached {
+					return ortho.Result{}, fmt.Errorf("core: graph is not connected (vertex %d unreachable from %d); extract the largest component first", v, src)
+				}
+			}
+		}
+		timed(&bd.BFSOther, func() {
+			linalg.Int32ToFloat64(col, dist)
+			linalg.MinUpdateInt32(dmin, dist)
+			src = int32(parallel.MaxIndexInt32(n, func(j int) int32 { return dmin[j] }))
+		})
+		timed(&bd.DOrtho, func() { inc.Add(col) })
+	}
+	return inc.Result(), nil
+}
+
+// parallelFillInt32 sets every element of x to v.
+func parallelFillInt32(x []int32, v int32) {
+	parallel.ForBlock(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = v
+		}
+	})
+}

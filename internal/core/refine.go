@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// RefineStats reports the work of a refinement run.
+type RefineStats struct {
+	Iterations int
+	// Residual is the final max over axes of ‖D⁻¹A·x − λx‖_D — how far
+	// the axes are from true degree-normalized eigenvectors.
+	Residual float64
+}
+
+// Refine implements the §4.5.3 extension: weighted-centroid refinement
+// that drives an HDE layout toward the true degree-normalized
+// eigenvectors. One sweep moves each vertex toward the weighted centroid
+// of its neighbors — exactly one power-iteration step on the transition
+// matrix D⁻¹A — followed by deflation of the trivial vector and
+// D-orthonormalization of the axes. Kirmani et al. [27] report this
+// HDE-seeded scheme is 22×–131× faster than cold power iteration; the
+// warm start is why (see BenchmarkRefineVsPower).
+//
+// The layout is refined in place. tol stops early when axes move less
+// than tol between sweeps (0 disables).
+func Refine(g *graph.CSR, l *Layout, sweeps int, tol float64) RefineStats {
+	n := g.NumV
+	deg := g.WeightedDegrees()
+	p := l.Dims()
+	ones := make([]float64, n)
+	linalg.Fill(ones, 1)
+	dnormalize(ones, deg)
+	y := make([]float64, n)
+
+	var st RefineStats
+	for it := 0; it < sweeps; it++ {
+		st.Iterations++
+		maxMove := 0.0
+		for k := 0; k < p; k++ {
+			x := l.Coords.Col(k)
+			// Weighted centroid sweep = transition-matrix product.
+			linalg.WalkMulVec(g, deg, x, y)
+			// Deflate the trivial eigenvector and earlier axes.
+			c := linalg.DDot(ones, deg, y)
+			linalg.Axpy(-c, ones, y)
+			for j := 0; j < k; j++ {
+				prev := l.Coords.Col(j)
+				c := linalg.DDot(prev, deg, y)
+				linalg.Axpy(-c, prev, y)
+			}
+			dnormalize(y, deg)
+			move := 0.0
+			if linalg.Dot(x, y) < 0 {
+				linalg.Scale(-1, y)
+			}
+			for i := range y {
+				d := y[i] - x[i]
+				move += d * d
+			}
+			move = math.Sqrt(move)
+			if move > maxMove {
+				maxMove = move
+			}
+			linalg.CopyVec(x, y)
+		}
+		if tol > 0 && maxMove < tol {
+			break
+		}
+	}
+	st.Residual = EigenResidual(g, l)
+	return st
+}
+
+// EigenResidual measures max over axes of ‖W·x − λx‖_D with W = D⁻¹A and
+// λ the D-Rayleigh quotient: zero iff each axis is an exact
+// degree-normalized eigenvector.
+func EigenResidual(g *graph.CSR, l *Layout) float64 {
+	n := g.NumV
+	deg := g.WeightedDegrees()
+	y := make([]float64, n)
+	worst := 0.0
+	for k := 0; k < l.Dims(); k++ {
+		x := l.Coords.Col(k)
+		xn := make([]float64, n)
+		linalg.CopyVec(xn, x)
+		dnormalize(xn, deg)
+		linalg.WalkMulVec(g, deg, xn, y)
+		lambda := linalg.DDot(xn, deg, y)
+		linalg.Axpy(-lambda, xn, y)
+		r := math.Sqrt(linalg.DDot(y, deg, y))
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func dnormalize(x, d []float64) {
+	nrm := math.Sqrt(linalg.DDot(x, d, x))
+	if nrm > 0 {
+		linalg.Scale(1/nrm, x)
+	}
+}

@@ -1,0 +1,167 @@
+// Package eigen provides the two eigensolvers the reproduction needs: a
+// cyclic Jacobi method for the tiny s×s symmetric matrix at the end of the
+// HDE pipeline (the paper uses the Eigen library here; the step is
+// negligible-time either way), and a deflated power iteration over the
+// transition matrix D⁻¹A used for the full-graph spectral baseline of
+// Figure 1 and the preprocessing extension of §4.5.3.
+package eigen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a
+// (s×s, dense) with the cyclic Jacobi method. It returns the eigenvalues
+// in ascending order and the matching eigenvectors as the columns of an
+// s×s matrix. a is not modified. Jacobi is unconditionally stable and,
+// for the s ≤ 100 matrices HDE produces, its O(s³) sweeps are
+// negligible next to the O(sm) traversal work.
+func SymEig(a *linalg.Dense) (vals []float64, vecs *linalg.Dense, err error) {
+	s := a.Rows
+	if a.Cols != s {
+		return nil, nil, fmt.Errorf("eigen: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	// Verify symmetry within roundoff; callers build a as SᵀLS which is
+	// symmetric up to floating-point noise, so symmetrize silently below
+	// a small relative tolerance and reject anything worse.
+	var scale float64
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	m := a.Clone()
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			diff := math.Abs(m.At(i, j) - m.At(j, i))
+			if diff > 1e-8*math.Max(scale, 1) {
+				return nil, nil, fmt.Errorf("eigen: matrix asymmetric at (%d,%d): |%g - %g|", i, j, m.At(i, j), m.At(j, i))
+			}
+			avg := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, avg)
+			m.Set(j, i, avg)
+		}
+	}
+	v := linalg.NewDense(s, s)
+	for i := 0; i < s; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off <= 1e-14*math.Max(scale, 1) {
+			break
+		}
+		for p := 0; p < s-1; p++ {
+			for q := p + 1; q < s; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				rotate(m, v, p, q, c, sn)
+			}
+		}
+	}
+	vals = make([]float64, s)
+	for i := 0; i < s; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns in lockstep.
+	order := make([]int, s)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < s; i++ {
+		for j := i; j > 0 && vals[order[j]] < vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sortedVals := make([]float64, s)
+	sortedVecs := linalg.NewDense(s, s)
+	for k, idx := range order {
+		sortedVals[k] = vals[idx]
+		copy(sortedVecs.Col(k), v.Col(idx))
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to m (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(m, v *linalg.Dense, p, q int, c, s float64) {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		mip, miq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*mip-s*miq)
+		m.Set(i, q, s*mip+c*miq)
+	}
+	for i := 0; i < n; i++ {
+		mpi, mqi := m.At(p, i), m.At(q, i)
+		m.Set(p, i, c*mpi-s*mqi)
+		m.Set(q, i, s*mpi+c*mqi)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *linalg.Dense) float64 {
+	var sum float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				sum += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// BottomK returns the k eigenvectors with smallest eigenvalues as an s×k
+// matrix, with their eigenvalues. For Z = SᵀLS (a projected Laplacian
+// with the degenerate direction removed), these are the drawing axes: the
+// minimizers of the Hall energy within the subspace.
+func BottomK(a *linalg.Dense, k int) ([]float64, *linalg.Dense, error) {
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	out := linalg.NewDense(a.Rows, k)
+	for j := 0; j < k; j++ {
+		copy(out.Col(j), vecs.Col(j))
+	}
+	return vals[:k], out, nil
+}
+
+// TopK returns the k eigenvectors with largest eigenvalues as an s×k
+// matrix, with their eigenvalues (descending). PHDE and PivotMDS use the
+// top two eigenvectors of the PCA covariance CᵀC.
+func TopK(a *linalg.Dense, k int) ([]float64, *linalg.Dense, error) {
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := len(vals)
+	if k > s {
+		k = s
+	}
+	outVals := make([]float64, k)
+	out := linalg.NewDense(a.Rows, k)
+	for j := 0; j < k; j++ {
+		outVals[j] = vals[s-1-j]
+		copy(out.Col(j), vecs.Col(s-1-j))
+	}
+	return outVals, out, nil
+}

@@ -1,0 +1,75 @@
+// Package exp contains the evaluation harness: one runner per table and
+// figure of the paper, printing the same rows/series the paper reports.
+// Graphs are the synthetic analogues documented in DESIGN.md, scaled by a
+// factor so the whole evaluation fits the host (the paper's originals are
+// billion-edge SuiteSparse/GAP graphs).
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// NamedGraph pairs a dataset with its Table 2 name (analogue of the
+// original paper graph of the same position).
+type NamedGraph struct {
+	Name     string
+	Analogue string // the paper graph this stands in for
+	G        *graph.CSR
+}
+
+// scaled multiplies a base dimension by the square root of factor so that
+// edge counts scale roughly linearly with factor.
+func scaled(base, factor int) int {
+	if factor <= 1 {
+		return base
+	}
+	// integer sqrt scaling
+	f := 1
+	for f*f < factor {
+		f++
+	}
+	return base * f
+}
+
+// LargeCollection returns analogues of the paper's five large graphs
+// (urand27, kron27, sk-2005, twitter7, road_usa) at a laptop scale
+// multiplied by factor.
+func LargeCollection(factor int) []NamedGraph {
+	sc := 0
+	for f := 1; f < factor; f *= 2 {
+		sc++
+	}
+	return []NamedGraph{
+		{"urand", "urand27", gen.Urand(14+sc, 16, 101)},
+		{"kron", "kron27", gen.Kron(14+sc, 16, 102)},
+		{"web", "sk-2005", gen.WebGraph(scaled(40000, factor), 24, 103)},
+		{"twitter", "twitter7", gen.ChungLu(scaled(30000, factor), 24, 2.1, 104)},
+		{"road", "road_usa", gen.Road(scaled(220, factor), scaled(220, factor), 105)},
+	}
+}
+
+// SmallCollection returns analogues of the paper's five smaller graphs
+// (cage14, CurlCurl_4, kkt_power, ecology1, pa2010).
+func SmallCollection(factor int) []NamedGraph {
+	return []NamedGraph{
+		{"cage", "cage14", gen.Mesh3D(scaled(24, factor), scaled(24, factor), scaled(24, factor))},
+		{"curlcurl", "CurlCurl_4", gen.Mesh3D(scaled(32, factor), scaled(32, factor), scaled(16, factor))},
+		{"kkt", "kkt_power", gen.PowerGrid(scaled(96, factor), scaled(96, factor), 106)},
+		{"ecology", "ecology1", gen.Grid2D(scaled(128, factor), scaled(128, factor))},
+		{"pa2010", "pa2010", gen.CountyMesh(scaled(100, factor), scaled(100, factor), 107)},
+	}
+}
+
+// Collection returns the full Table 2 lineup: large graphs first, in
+// decreasing edge count like the paper.
+func Collection(factor int) []NamedGraph {
+	return append(LargeCollection(factor), SmallCollection(factor)...)
+}
+
+// Describe formats a one-line dataset summary.
+func (ng NamedGraph) Describe() string {
+	return fmt.Sprintf("%-9s (for %-10s) m=%-9d n=%-8d", ng.Name, ng.Analogue, ng.G.NumEdges(), ng.G.NumV)
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryNamesAndDescribe(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(registry))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+	for _, want := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"sssp", "perm", "refine", "ls", "delta", "alphabeta", "ldd",
+		"multilevel", "stress", "fr", "subspace", "partition", "quality", "stream", "memory", "reorder"} {
+		if _, ok := Describe(want); !ok {
+			t.Fatalf("experiment %q missing from registry", want)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Fatal("unknown experiment described")
+	}
+	if err := Run("nope", &bytes.Buffer{}, Config{}); err == nil {
+		t.Fatal("unknown experiment ran")
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table2", &buf, Config{Factor: 1, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"urand", "kron", "web", "twitter", "road",
+		"cage", "curlcurl", "kkt", "ecology", "pa2010"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table2 missing graph %q:\n%s", name, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Fatalf("table2 only %d lines", lines)
+	}
+}
+
+func TestFig8ZoomExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig8", &buf, Config{Factor: 1, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10-hop zoom") {
+		t.Fatalf("fig8 output: %s", buf.String())
+	}
+}
+
+func TestCollectionsConnectedAndOrdered(t *testing.T) {
+	large := LargeCollection(1)
+	small := SmallCollection(1)
+	if len(large) != 5 || len(small) != 5 {
+		t.Fatalf("collections %d/%d", len(large), len(small))
+	}
+	all := Collection(1)
+	if len(all) != 10 {
+		t.Fatalf("collection size %d", len(all))
+	}
+	for _, ng := range all {
+		if ng.G.NumV < 100 {
+			t.Fatalf("%s suspiciously small: %d", ng.Name, ng.G.NumV)
+		}
+		if ng.Describe() == "" {
+			t.Fatal("empty describe")
+		}
+	}
+	// Rough Table 2 ordering: urand/kron the largest by edges.
+	if all[0].G.NumEdges() < all[9].G.NumEdges() {
+		t.Fatal("collection not roughly ordered by size")
+	}
+}
+
+func TestScaledAndThreadSweep(t *testing.T) {
+	if scaled(100, 1) != 100 || scaled(100, 4) != 200 || scaled(100, 9) != 300 {
+		t.Fatalf("scaled wrong: %d %d %d", scaled(100, 1), scaled(100, 4), scaled(100, 9))
+	}
+	sw := threadSweep(8)
+	want := []int{1, 2, 4, 8}
+	if len(sw) != len(want) {
+		t.Fatalf("sweep %v", sw)
+	}
+	for i := range want {
+		if sw[i] != want[i] {
+			t.Fatalf("sweep %v", sw)
+		}
+	}
+	sw = threadSweep(1)
+	if len(sw) != 1 || sw[0] != 1 {
+		t.Fatalf("sweep(1) = %v", sw)
+	}
+	sw = threadSweep(6)
+	if sw[len(sw)-1] != 6 {
+		t.Fatalf("sweep(6) = %v", sw)
+	}
+}
+
+func TestRatioAndMinTime(t *testing.T) {
+	if ratio(time.Second, 0) != 0 {
+		t.Fatal("ratio div-by-zero not guarded")
+	}
+	if r := ratio(2*time.Second, time.Second); r != 2 {
+		t.Fatalf("ratio = %g", r)
+	}
+	calls := 0
+	minTime(3, func() { calls++ })
+	if calls != 3 {
+		t.Fatalf("minTime ran %d times", calls)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Factor != 1 || c.Reps != 3 || c.Subspace != 10 || c.MaxThreads < 1 {
+		t.Fatalf("defaults %+v", c)
+	}
+}
+
+func TestCheapExperimentsSmoke(t *testing.T) {
+	// Fast experiments run end-to-end in the test suite; the heavier ones
+	// are exercised by cmd/hdebench and the CLI integration tests.
+	for _, id := range []string{"stream", "memory", "ldd"} {
+		var buf bytes.Buffer
+		if err := Run(id, &buf, Config{Factor: 1, Reps: 1}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestQualityExperimentSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("quality", &buf, Config{Factor: 1, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"parhde", "random", "dist-corr"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quality output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Config controls harness runs.
+type Config struct {
+	// Factor scales dataset sizes (1 = laptop defaults, 4 ≈ 4× edges…).
+	Factor int
+	// Reps is how many times each timed region runs; the minimum is
+	// reported, the usual practice for wall-clock microbenchmarks.
+	Reps int
+	// Subspace overrides s where an experiment doesn't pin it (0 = paper
+	// default of 10).
+	Subspace int
+	// OutDir receives PNG drawings for the figure experiments ("" = skip
+	// file output, metrics only).
+	OutDir string
+	// MaxThreads caps the GOMAXPROCS sweep of the scaling experiments
+	// (0 = runtime.NumCPU()).
+	MaxThreads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Factor <= 0 {
+		c.Factor = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Subspace <= 0 {
+		c.Subspace = 10
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = runtime.NumCPU()
+	}
+	return c
+}
+
+// minTime runs f reps times and returns the fastest wall time.
+func minTime(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// withThreads runs f under the given GOMAXPROCS, restoring the previous
+// setting afterwards — the harness's version of the paper's core-count
+// sweep (OpenMP thread pinning has no Go equivalent; the Go scheduler
+// assigns goroutines to the P cores granted here).
+func withThreads(p int, f func()) {
+	prev := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(prev)
+	f()
+}
+
+// threadSweep returns the core counts to sweep: 1, 2, 4, … up to max,
+// always including max itself (the paper uses 1, 4, 7, 14, 28 on its
+// 28-core node).
+func threadSweep(max int) []int {
+	var out []int
+	for p := 1; p < max; p *= 2 {
+		out = append(out, p)
+	}
+	out = append(out, max)
+	if len(out) >= 2 && out[len(out)-2] == max {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// ratio guards against divide-by-zero when a phase is too fast to time.
+func ratio(num, den time.Duration) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,87 @@
+// Package fibbin implements Fibonacci binning (Vigna, 2013), the
+// histogram technique behind the paper's Figure 2: bin boundaries follow
+// the Fibonacci sequence, giving log-scale-friendly exponential bins whose
+// widths are themselves "round" numbers. A point [x_i, c] means c values
+// fell in [x_{i−1}, x_i), with x_0 = 0, x_1 = 1, x_i = x_{i−1} + x_{i−2}.
+package fibbin
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a concurrent Fibonacci-binned histogram over positive
+// int64 values.
+type Histogram struct {
+	bounds []int64 // bounds[i] = x_i; bin i counts values in [x_{i-1}, x_i)
+	counts []int64 // atomic
+}
+
+// New creates a histogram covering values up to at least maxValue.
+func New(maxValue int64) *Histogram {
+	bounds := []int64{0, 1}
+	for bounds[len(bounds)-1] <= maxValue {
+		k := len(bounds)
+		bounds = append(bounds, bounds[k-1]+bounds[k-2])
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+// Add records one value. Negative values are clamped to zero (gap lists
+// are nonnegative by construction; zero gaps cannot occur for strictly
+// sorted adjacencies but are tolerated). Safe for concurrent use.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Find the first bound > v: bin index.
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] > v })
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	atomic.AddInt64(&h.counts[i], 1)
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for i := range h.counts {
+		t += atomic.LoadInt64(&h.counts[i])
+	}
+	return t
+}
+
+// Bin describes one non-empty histogram bin.
+type Bin struct {
+	Lo, Hi int64 // values counted: Lo ≤ v < Hi
+	Count  int64
+}
+
+// Bins returns the non-empty bins in ascending order.
+func (h *Histogram) Bins() []Bin {
+	var out []Bin
+	for i := 1; i < len(h.bounds); i++ {
+		c := atomic.LoadInt64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		out = append(out, Bin{Lo: h.bounds[i-1], Hi: h.bounds[i], Count: c})
+	}
+	if c := atomic.LoadInt64(&h.counts[0]); c > 0 {
+		out = append([]Bin{{Lo: 0, Hi: 0, Count: c}}, out...)
+	}
+	return out
+}
+
+// Fprint writes the histogram as "x_i count" rows — the series plotted in
+// Figure 2 (both axes log scale).
+func (h *Histogram) Fprint(w io.Writer, label string) error {
+	for _, b := range h.Bins() {
+		if _, err := fmt.Fprintf(w, "%-12s %12d %12d\n", label, b.Hi, b.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package fibbin
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBoundsAreFibonacci(t *testing.T) {
+	h := New(100)
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds %v", h.bounds)
+	}
+	for i := range want {
+		if h.bounds[i] != want[i] {
+			t.Fatalf("bounds[%d] = %d, want %d", i, h.bounds[i], want[i])
+		}
+	}
+}
+
+func TestAddAndBins(t *testing.T) {
+	h := New(100)
+	// One gap of each: 1 → bin (1,2]? Bin semantics: [x_{i-1}, x_i).
+	h.Add(1) // [1,2)
+	h.Add(1)
+	h.Add(4)  // [3,5)
+	h.Add(13) // [13,21)
+	if h.Total() != 4 {
+		t.Fatalf("total %d", h.Total())
+	}
+	bins := h.Bins()
+	counts := map[int64]int64{}
+	for _, b := range bins {
+		counts[b.Lo] = b.Count
+	}
+	if counts[1] != 2 || counts[3] != 1 || counts[13] != 1 {
+		t.Fatalf("bins %v", bins)
+	}
+	// Values inside each bin satisfy Lo ≤ v < Hi.
+	for _, b := range bins {
+		if b.Lo >= b.Hi && b.Hi != 0 {
+			t.Fatalf("bad bin %+v", b)
+		}
+	}
+}
+
+func TestOverflowClampsToLastBin(t *testing.T) {
+	h := New(10)
+	h.Add(1 << 40)
+	if h.Total() != 1 {
+		t.Fatal("overflow value lost")
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	h := New(10)
+	h.Add(-5)
+	bins := h.Bins()
+	if len(bins) != 1 || bins[0].Lo != 0 || bins[0].Count != 1 {
+		t.Fatalf("bins %v", bins)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	h := New(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Add(int64(i%1000 + w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Total() != 80000 {
+		t.Fatalf("total %d, want 80000", h.Total())
+	}
+}
+
+func TestFprintFormat(t *testing.T) {
+	h := New(10)
+	h.Add(2)
+	h.Add(3)
+	var buf bytes.Buffer
+	if err := h.Fprint(&buf, "road"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "road") {
+		t.Fatalf("output missing label: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("expected 2 rows: %q", out)
+	}
+}

@@ -1,0 +1,58 @@
+package forcedirected
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestLayoutImprovesOverRandom(t *testing.T) {
+	g := gen.Grid2D(20, 20)
+	l := Layout(g, Options{Iterations: 80, Seed: 1})
+	q := core.Evaluate(g, l)
+	r := core.Evaluate(g, core.RandomLayout(g.NumV, 2, 2))
+	if q.HallRatio >= r.HallRatio {
+		t.Fatalf("FR Hall ratio %.4g not better than random %.4g", q.HallRatio, r.HallRatio)
+	}
+}
+
+func TestLayoutCoordsInUnitBox(t *testing.T) {
+	g := gen.Kron(8, 8, 3)
+	l := Layout(g, Options{Iterations: 20, Seed: 4})
+	for k := 0; k < 2; k++ {
+		for _, v := range l.Coords.Col(k) {
+			if v < 0 || v > 1 {
+				t.Fatalf("coordinate %g outside unit box", v)
+			}
+		}
+	}
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	g := gen.Cycle(100)
+	a := Layout(g, Options{Iterations: 10, Seed: 5})
+	b := Layout(g, Options{Iterations: 10, Seed: 5})
+	for i := range a.Coords.Data {
+		if a.Coords.Data[i] != b.Coords.Data[i] {
+			t.Fatal("same seed, different FR layout")
+		}
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := gen.Path(n)
+		l := Layout(g, Options{Iterations: 5, Seed: 1})
+		if l.NumVertices() != n {
+			t.Fatalf("n=%d: layout size %d", n, l.NumVertices())
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Iterations != 50 || o.Theta != 1 {
+		t.Fatalf("defaults %+v", o)
+	}
+}

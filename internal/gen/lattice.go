@@ -1,0 +1,190 @@
+package gen
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Grid2D generates a rows×cols 4-connected lattice — the ecology1
+// analogue (ecology1 is literally a 1000×1000 grid stencil) and, with
+// RandomWeights, a road-network-like weighted graph. Vertex ids follow
+// row-major order, so adjacency gaps are 1 and cols: the near-ideal
+// locality case in Figure 2's terms. The graph is connected by
+// construction; diameter is rows+cols−2.
+func Grid2D(rows, cols int) *graph.CSR {
+	n := rows * cols
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	edges := make([]graph.Edge, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{KeepAllComponents: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Road generates a road_usa analogue: a 2-D lattice whose edges are
+// randomly thinned (keeping connectivity via a spanning backbone) and
+// augmented with a few diagonal shortcuts, giving average degree ≈ 2.4 and
+// very high diameter — the regime where direction-optimizing BFS wins
+// least (Table 3's 2.9× row).
+func Road(rows, cols int, seed uint64) *graph.CSR {
+	n := rows * cols
+	rng := NewRNG(seed)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	edges := make([]graph.Edge, 0, 2*n)
+	// Spanning backbone: serpentine path through every cell keeps the
+	// graph connected no matter how aggressively we thin the rest.
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+		}
+		if r+1 < rows {
+			if r%2 == 0 {
+				edges = append(edges, graph.Edge{U: id(r, cols-1), V: id(r+1, cols-1)})
+			} else {
+				edges = append(edges, graph.Edge{U: id(r, 0), V: id(r+1, 0)})
+			}
+		}
+	}
+	// Thinned vertical edges (~20%) add grid texture without collapsing
+	// the diameter.
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < 0.20 {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{KeepAllComponents: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Mesh3D generates an X×Y×Z 6-connected stencil mesh, the cage14 /
+// CurlCurl_4 analogue: moderate uniform degree, moderate diameter, and
+// banded adjacency (gaps of 1, X, and X·Y).
+func Mesh3D(x, y, z int) *graph.CSR {
+	n := x * y * z
+	id := func(i, j, k int) int32 { return int32((k*y+j)*x + i) }
+	edges := make([]graph.Edge, 0, 3*n)
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				if i+1 < x {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i+1, j, k)})
+				}
+				if j+1 < y {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i, j+1, k)})
+				}
+				if k+1 < z {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i, j, k+1)})
+				}
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{KeepAllComponents: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PowerGrid generates a kkt_power analogue: a sparse planar-ish backbone
+// (thinned grid) coupled with a duplicated copy of itself through random
+// "constraint" edges, mimicking the primal/dual block structure of a KKT
+// optimization matrix. Average degree ≈ 6, irregular but not power-law.
+func PowerGrid(rows, cols int, seed uint64) *graph.CSR {
+	base := Road(rows, cols, seed)
+	n := base.NumV
+	rng := NewRNG(seed ^ 0xabcdef)
+	edges := make([]graph.Edge, 0, int(base.NumEdges())*2+3*n)
+	// Two coupled copies of the backbone.
+	for v := int32(0); int(v) < n; v++ {
+		for _, u := range base.Neighbors(v) {
+			if u > v {
+				edges = append(edges, graph.Edge{U: v, V: u})
+				edges = append(edges, graph.Edge{U: v + int32(n), V: u + int32(n)})
+			}
+		}
+		// Primal-dual coupling: each vertex ties to its twin and to a
+		// couple of the twin's nearby vertices.
+		edges = append(edges, graph.Edge{U: v, V: v + int32(n)})
+		for t := 0; t < 2; t++ {
+			jump := int32(rng.Intn(64)) - 32
+			u := v + jump
+			if u >= 0 && int(u) < n && u != v {
+				edges = append(edges, graph.Edge{U: v, V: u + int32(n)})
+			}
+		}
+	}
+	g, err := graph.FromEdges(2*n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomGeometric generates a random geometric graph: n points uniform in
+// the unit square, edges between pairs within the given radius (via a
+// cell grid, so construction is near-linear). Ids are assigned in a
+// left-to-right sweep, giving a locality-friendly ordering. RGGs are the
+// standard "mesh-like but irregular" workload in layout papers.
+func RandomGeometric(n int, radius float64, seed uint64) *graph.CSR {
+	rng := NewRNG(seed)
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].x != pts[b].x {
+			return pts[a].x < pts[b].x
+		}
+		return pts[a].y < pts[b].y
+	})
+	cells := int(1/radius) + 1
+	grid := make(map[[2]int][]int32)
+	cellOf := func(x, y float64) (int, int) {
+		return int(x * float64(cells-1)), int(y * float64(cells-1))
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(pts[i].x, pts[i].y)
+		grid[[2]int{cx, cy}] = append(grid[[2]int{cx, cy}], int32(i))
+	}
+	r2 := radius * radius
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(pts[i].x, pts[i].y)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{cx + dx, cy + dy}] {
+					if j <= int32(i) {
+						continue
+					}
+					ddx, ddy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+					if ddx*ddx+ddy*ddy <= r2 {
+						edges = append(edges, graph.Edge{U: int32(i), V: j})
+					}
+				}
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

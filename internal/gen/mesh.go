@@ -1,0 +1,105 @@
+package gen
+
+import "repro/internal/graph"
+
+// PlateWithHoles generates the barth5 analogue: a triangulated rectangular
+// plate of rows×cols vertices with four circular holes punched out. barth5
+// is a 2-D structural finite-element mesh whose HDE drawing (Figure 1)
+// shows exactly this global structure — "all the drawings capture global
+// structure with four holes" (Figure 7). Vertices inside the holes are
+// removed and the largest component is extracted with order-preserving
+// relabeling, like any other input.
+func PlateWithHoles(rows, cols int) *graph.CSR {
+	type hole struct{ r, c, rad float64 }
+	fr, fc := float64(rows), float64(cols)
+	holes := []hole{
+		{0.28 * fr, 0.28 * fc, 0.12 * minf(fr, fc)},
+		{0.28 * fr, 0.72 * fc, 0.12 * minf(fr, fc)},
+		{0.72 * fr, 0.28 * fc, 0.12 * minf(fr, fc)},
+		{0.72 * fr, 0.72 * fc, 0.12 * minf(fr, fc)},
+	}
+	inHole := func(r, c int) bool {
+		for _, h := range holes {
+			dr, dc := float64(r)-h.r, float64(c)-h.c
+			if dr*dr+dc*dc < h.rad*h.rad {
+				return true
+			}
+		}
+		return false
+	}
+	keep := make([]bool, rows*cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			keep[id(r, c)] = !inHole(r, c)
+		}
+	}
+	edges := make([]graph.Edge, 0, 3*rows*cols)
+	add := func(a, b int32) {
+		if keep[a] && keep[b] {
+			edges = append(edges, graph.Edge{U: a, V: b})
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !keep[id(r, c)] {
+				continue
+			}
+			if c+1 < cols {
+				add(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				add(id(r, c), id(r+1, c))
+			}
+			// Triangulating diagonal, alternating orientation so the mesh
+			// has no global shear.
+			if r+1 < rows && c+1 < cols {
+				if (r+c)%2 == 0 {
+					add(id(r, c), id(r+1, c+1))
+				} else {
+					add(id(r, c+1), id(r+1, c))
+				}
+			}
+		}
+	}
+	g, err := graph.FromEdges(rows*cols, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// CountyMesh generates a pa2010 analogue: a planar census-block adjacency
+// mesh. pa2010 is the Pennsylvania 2010 census-block graph — planar,
+// low-degree, locality-ordered. We model it as a triangulated grid whose
+// diagonals are randomly thinned, yielding average degree ≈ 4.9.
+func CountyMesh(rows, cols int, seed uint64) *graph.CSR {
+	rng := NewRNG(seed)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	edges := make([]graph.Edge, 0, 3*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+			if r+1 < rows && c+1 < cols && rng.Float64() < 0.45 {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c+1)})
+			}
+		}
+	}
+	g, err := graph.FromEdges(rows*cols, edges, graph.BuildOptions{KeepAllComponents: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

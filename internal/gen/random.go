@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Urand generates a GAP-style uniform random graph: m endpoint pairs drawn
+// uniformly at random over n vertices (the generator behind urand27).
+// Self loops and duplicates produced by the draw are removed in
+// preprocessing, and the largest connected component is extracted, exactly
+// as the paper preprocesses its inputs. Vertex ids carry no locality, so
+// the adjacency-gap distribution is the paper's worst-case reference line.
+func Urand(scale int, degree int, seed uint64) *graph.CSR {
+	n := 1 << scale
+	m := n * degree / 2
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: rng.Int32n(int32(n)), V: rng.Int32n(int32(n))}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err) // generator produces in-range ids by construction
+	}
+	return g
+}
+
+// Kron generates a Kronecker (R-MAT) graph with the GAP/Graph500 edge
+// probabilities A=0.57, B=0.19, C=0.19 (the generator behind kron27),
+// followed by a random shuffle of vertex identifiers — the paper notes the
+// GAP generator randomizes ids, which is why kron27's gap distribution
+// coincides with urand27's. The result has a highly skewed degree
+// distribution and low effective diameter.
+func Kron(scale int, edgeFactor int, seed uint64) *graph.CSR {
+	n := 1 << scale
+	m := n * edgeFactor
+	const a, b, c = 0.57, 0.19, 0.19
+	rng := NewRNG(seed)
+	perm := graph.RandomPermutation(n, rng.Uint64())
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		var u, v int32
+		for bit := 0; bit < scale; bit++ {
+			p := rng.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges[i] = graph.Edge{U: perm[u], V: perm[v]}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ChungLu generates a power-law random graph by the Chung–Lu model with
+// exponent gamma: each vertex gets weight w_i ∝ (i+1)^(-1/(gamma-1)) and
+// edges are sampled proportional to w_u·w_v. After weight assignment the
+// vertex ids are randomly shuffled. This is the twitter7 analogue: heavy
+// degree skew, tiny diameter, no id locality.
+func ChungLu(n int, avgDegree int, gamma float64, seed uint64) *graph.CSR {
+	rng := NewRNG(seed)
+	w := make([]float64, n)
+	var total float64
+	exp := -1.0 / (gamma - 1.0)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), exp)
+		total += w[i]
+	}
+	// Cumulative distribution for endpoint sampling by inversion.
+	cdf := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cdf[i+1] = cdf[i] + w[i]/total
+	}
+	cdf[n] = 1
+	sample := func() int32 {
+		x := rng.Float64()
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	perm := graph.RandomPermutation(n, rng.Uint64())
+	m := n * avgDegree / 2
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: perm[sample()], V: perm[sample()]}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// vertex connects to its k/2 nearest neighbors on each side, with every
+// edge rewired to a random far endpoint with probability beta. Low beta
+// keeps grid-like locality with a few long-range shortcuts — a useful
+// middle ground between the road and urand regimes when studying the
+// direction-optimizing switch.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.CSR {
+	if k%2 != 0 {
+		k++
+	}
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, n*k/2)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				u = rng.Intn(n)
+			}
+			if u == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: int32(v), V: int32(u)})
+		}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new
+// vertex attaches m edges to existing vertices with probability
+// proportional to their degree (implemented with the repeated-endpoints
+// trick: sampling a uniform position in the running edge list is
+// degree-proportional). Power-law degrees with guaranteed connectivity —
+// an alternative skewed-workload family to Kron/Chung-Lu.
+func BarabasiAlbert(n, m int, seed uint64) *graph.CSR {
+	if m < 1 {
+		m = 1
+	}
+	rng := NewRNG(seed)
+	// targets holds every edge endpoint ever created; sampling uniformly
+	// from it is degree-proportional sampling.
+	targets := make([]int32, 0, 2*n*m)
+	edges := make([]graph.Edge, 0, n*m)
+	// Seed clique of m+1 vertices.
+	for i := 0; i <= m && i < n; i++ {
+		for j := i + 1; j <= m && j < n; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+			targets = append(targets, int32(i), int32(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		attached := map[int32]bool{}
+		for len(attached) < m {
+			u := targets[rng.Intn(len(targets))]
+			if int(u) == v || attached[u] {
+				// Rejection keeps the distribution close to BA while
+				// avoiding loops/multi-edges.
+				u = int32(rng.Intn(v))
+				if int(u) == v || attached[u] {
+					continue
+				}
+			}
+			attached[u] = true
+			edges = append(edges, graph.Edge{U: int32(v), V: u})
+			targets = append(targets, int32(v), u)
+		}
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

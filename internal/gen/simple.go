@@ -1,0 +1,90 @@
+package gen
+
+import "repro/internal/graph"
+
+// Path returns the n-vertex path graph 0—1—…—(n−1): the paper's worst
+// case for level-synchronous BFS depth and the "ideal" case for gap
+// locality (every gap is 2).
+func Path(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	return mustBuild(n, edges)
+}
+
+// Cycle returns the n-vertex cycle graph.
+func Cycle(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32((i + 1) % n)})
+	}
+	return mustBuild(n, edges)
+}
+
+// Star returns the (n−1)-leaf star with center 0.
+func Star(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(i)})
+	}
+	return mustBuild(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	return mustBuild(n, edges)
+}
+
+// BinaryTree returns the complete binary tree with n vertices, heap
+// ordered (children of i are 2i+1 and 2i+2).
+func BinaryTree(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32((i - 1) / 2), V: int32(i)})
+	}
+	return mustBuild(n, edges)
+}
+
+// WithRandomWeights returns a weighted copy of g with integer edge weights
+// drawn uniformly from [1, maxW], symmetric across the two arcs of each
+// edge — the configuration of the paper's "random integer weights" SSSP
+// experiment.
+func WithRandomWeights(g *graph.CSR, maxW int, seed uint64) *graph.CSR {
+	rng := NewRNG(seed)
+	w := make([]float64, len(g.Adj))
+	for v := int32(0); int(v) < g.NumV; v++ {
+		for k := g.Offsets[v]; k < g.Offsets[v+1]; k++ {
+			u := g.Adj[k]
+			if u < v {
+				continue // weight assigned when visiting the lower endpoint
+			}
+			wt := float64(1 + rng.Intn(maxW))
+			w[k] = wt
+			// Mirror onto the reverse arc so the weighted graph stays
+			// symmetric.
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for j := lo; j < hi; j++ {
+				if g.Adj[j] == v {
+					w[j] = wt
+					break
+				}
+			}
+		}
+	}
+	return &graph.CSR{NumV: g.NumV, Offsets: g.Offsets, Adj: g.Adj, Weights: w}
+}
+
+func mustBuild(n int, edges []graph.Edge) *graph.CSR {
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{KeepAllComponents: true})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

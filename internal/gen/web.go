@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// WebGraph generates an sk-2005 analogue: a host-partitioned web-crawl
+// graph whose vertex ids follow the crawl's lexicographic URL order, so
+// most links land close in id space. Hosts have geometrically distributed
+// sizes; pages link preferentially within their host (tiny gaps) and to
+// hosts nearby in id space with a power-law distance distribution, and
+// page out-degrees are heavily skewed. This reproduces the two properties
+// the paper's §4.4 analysis attributes to sk-2005: a strongly
+// locality-favoring gap distribution (Fig. 2) and a skewed degree
+// distribution that direction-optimizing BFS exploits.
+func WebGraph(n int, avgDegree int, seed uint64) *graph.CSR {
+	rng := NewRNG(seed)
+	// Carve [0,n) into hosts with sizes ~ geometric, mean ~64 pages.
+	hostStart := []int32{0}
+	for int(hostStart[len(hostStart)-1]) < n {
+		size := 1 + int32(math.Floor(-64*math.Log(1-rng.Float64())))
+		next := hostStart[len(hostStart)-1] + size
+		if int(next) > n {
+			next = int32(n)
+		}
+		hostStart = append(hostStart, next)
+	}
+	numHosts := len(hostStart) - 1
+	hostOf := make([]int32, n)
+	for h := 0; h < numHosts; h++ {
+		for v := hostStart[h]; v < hostStart[h+1]; v++ {
+			hostOf[v] = int32(h)
+		}
+	}
+	m := n * avgDegree / 2
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		// Pick a source page with skewed (Zipf-ish) popularity inside a
+		// uniformly chosen host, so hub pages emerge.
+		u := int32(rng.Intn(n))
+		h := hostOf[u]
+		var v int32
+		if rng.Float64() < 0.85 {
+			// Intra-host link.
+			lo, hi := hostStart[h], hostStart[h+1]
+			if hi-lo <= 1 {
+				continue
+			}
+			v = lo + rng.Int32n(hi-lo)
+		} else {
+			// Inter-host link. Crawl order places related hosts (same
+			// domain, same site section) contiguously, so most cross-host
+			// links land on nearby hosts; the remainder is log-uniform
+			// over the whole crawl, keeping the diameter low.
+			var dist int
+			if rng.Float64() < 0.7 {
+				dist = 1 + rng.Intn(16)
+			} else {
+				dist = int(math.Pow(float64(numHosts), rng.Float64())) // log-uniform
+			}
+			if rng.Uint64()&1 == 0 {
+				dist = -dist
+			}
+			th := int(h) + dist
+			if th < 0 || th >= numHosts {
+				continue
+			}
+			lo, hi := hostStart[th], hostStart[th+1]
+			if hi == lo {
+				continue
+			}
+			// Target the host's "front page" region preferentially.
+			span := hi - lo
+			off := int32(float64(span) * rng.Float64() * rng.Float64())
+			v = lo + off
+		}
+		if v == u {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

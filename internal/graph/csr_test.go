@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomEdges generates a reproducible random edge list over n vertices.
+func randomEdges(n, m int, seed int64) []Edge {
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			U: int32(r.Intn(n)),
+			V: int32(r.Intn(n)),
+			W: float64(1 + r.Intn(9)),
+		}
+	}
+	return edges
+}
+
+func mustFromEdges(t *testing.T, n int, edges []Edge, opt BuildOptions) *CSR {
+	t.Helper()
+	g, err := FromEdges(n, edges, opt)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	// Triangle plus a pendant, with a self loop and duplicates to strip.
+	edges := []Edge{
+		{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 2}, // self loop
+		{U: 3, V: 0},
+	}
+	g := mustFromEdges(t, 4, edges, BuildOptions{KeepAllComponents: true})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got n=%d m=%d, want 4, 4", g.NumV, g.NumEdges())
+	}
+	if g.Degree(0) != 3 || g.Degree(2) != 2 || g.Degree(3) != 1 {
+		t.Fatalf("unexpected degrees %d %d %d", g.Degree(0), g.Degree(2), g.Degree(3))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(1, 3) || g.HasEdge(2, 2) {
+		t.Fatal("HasEdge inconsistent")
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(3, []Edge{{U: 0, V: 3}}, BuildOptions{}); err == nil {
+		t.Fatal("expected error for out-of-range endpoint")
+	}
+	if _, err := FromEdges(-1, nil, BuildOptions{}); err == nil {
+		t.Fatal("expected error for negative vertex count")
+	}
+	if _, err := FromEdges(3, []Edge{{U: 0, V: 1, W: -2}}, BuildOptions{Weighted: true}); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+}
+
+func TestFromEdgesValidateProperty(t *testing.T) {
+	// Any random multigraph with loops must preprocess into a valid simple
+	// symmetric CSR.
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed int64, weighted bool) bool {
+		n := 2 + int(uint64(seed)%97)
+		edges := randomEdges(n, 3*n, seed)
+		g, err := FromEdges(n, edges, BuildOptions{Weighted: weighted, KeepAllComponents: true})
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMergeKeepsMaxSimilarity(t *testing.T) {
+	edges := []Edge{
+		{U: 0, V: 1, W: 2},
+		{U: 1, V: 0, W: 7}, // duplicate with higher similarity
+		{U: 0, V: 1, W: 4},
+	}
+	g := mustFromEdges(t, 2, edges, BuildOptions{Weighted: true})
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1", g.NumEdges())
+	}
+	if w := g.NeighborWeights(0)[0]; w != 7 {
+		t.Fatalf("merged weight = %g, want 7", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedDegrees(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}
+	g := mustFromEdges(t, 3, edges, BuildOptions{Weighted: true})
+	d := g.WeightedDegrees()
+	want := []float64{2, 5, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("deg[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+	// Unweighted graphs: weighted degree equals plain degree.
+	gu := g.Unweighted()
+	du := gu.WeightedDegrees()
+	for i := range du {
+		if du[i] != float64(gu.Degree(int32(i))) {
+			t.Fatalf("unweighted deg[%d] = %g", i, du[i])
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}}
+	g := mustFromEdges(t, 4, edges, BuildOptions{})
+	if md := g.MaxDegree(); md != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", md)
+	}
+	empty := &CSR{NumV: 0, Offsets: []int64{0}}
+	if md := empty.MaxDegree(); md != 0 {
+		t.Fatalf("empty MaxDegree = %d", md)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := mustFromEdges(t, 3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOptions{})
+	cases := map[string]func(g *CSR){
+		"asymmetric":   func(g *CSR) { g.Adj[0] = 2 },
+		"unsorted":     func(g *CSR) { g.Adj[1], g.Adj[2] = g.Adj[2], g.Adj[1] },
+		"out-of-range": func(g *CSR) { g.Adj[0] = 99 },
+		"bad offsets":  func(g *CSR) { g.Offsets[1] = 100 },
+		"self loop":    func(g *CSR) { g.Adj[0] = 0 },
+	}
+	for name, corrupt := range cases {
+		g := &CSR{
+			NumV:    good.NumV,
+			Offsets: append([]int64(nil), good.Offsets...),
+			Adj:     append([]int32(nil), good.Adj...),
+		}
+		corrupt(g)
+		if g.Validate() == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}
+
+func TestWithUnitWeights(t *testing.T) {
+	g := mustFromEdges(t, 3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOptions{})
+	wg := g.WithUnitWeights()
+	if !wg.Weighted() {
+		t.Fatal("expected weighted view")
+	}
+	for _, w := range wg.Weights {
+		if w != 1 {
+			t.Fatalf("unit weight = %g", w)
+		}
+	}
+	if err := wg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

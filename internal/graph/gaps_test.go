@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGapSummaryPath(t *testing.T) {
+	// A linear chain with linear ordering: the paper's "ideal case" — gap
+	// of exactly 2 occurring n−2 times.
+	n := 500
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{U: int32(i), V: int32(i + 1)})
+	}
+	g := mustFromEdges(t, n, edges, BuildOptions{})
+	gs := GapSummary(g)
+	if gs.Count != int64(n-2) {
+		t.Fatalf("gap count = %d, want %d", gs.Count, n-2)
+	}
+	if gs.Mean != 2 {
+		t.Fatalf("mean gap = %g, want 2", gs.Mean)
+	}
+}
+
+func TestGapCountIdentity(t *testing.T) {
+	// Σ counts = 2m − (#vertices with degree ≥ 1) when every vertex has
+	// degree ≥ 1 (the paper's Σc = 2m − n identity).
+	g := mustFromEdges(t, 40, randomEdges(40, 200, 9), BuildOptions{})
+	gs := GapSummary(g)
+	nonZero := int64(0)
+	for v := 0; v < g.NumV; v++ {
+		if g.Degree(int32(v)) > 0 {
+			nonZero++
+		}
+	}
+	want := 2*g.NumEdges() - nonZero
+	if gs.Count != want {
+		t.Fatalf("gap count = %d, want 2m−n′ = %d", gs.Count, want)
+	}
+}
+
+func TestGapsSinkMatchesSummary(t *testing.T) {
+	g := mustFromEdges(t, 64, randomEdges(64, 300, 5), BuildOptions{})
+	var count, sum int64
+	Gaps(g, func(gap int64) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&sum, gap)
+	})
+	gs := GapSummary(g)
+	if count != gs.Count {
+		t.Fatalf("sink count %d != summary %d", count, gs.Count)
+	}
+	if gs.Count > 0 && float64(sum)/float64(count) != gs.Mean {
+		t.Fatalf("sink mean %g != summary %g", float64(sum)/float64(count), gs.Mean)
+	}
+}
+
+func TestGapsArePositive(t *testing.T) {
+	g := mustFromEdges(t, 64, randomEdges(64, 300, 13), BuildOptions{})
+	Gaps(g, func(gap int64) {
+		if gap <= 0 {
+			t.Errorf("non-positive gap %d from strictly sorted adjacency", gap)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package graph
+
+import "math"
+
+// LowDiameterDecomposition partitions the vertices into clusters of
+// bounded diameter with few inter-cluster edges — the Miller-Peng-Xu
+// style decomposition the paper's §3 names as future work for improving
+// the worst-case depth of the level-synchronous BFS phase ("we will
+// augment this step with a low diameter decomposition [11, 12, 37]").
+//
+// Each vertex draws an exponential(beta) start delay; a multi-source BFS
+// then grows balls from all vertices simultaneously, each vertex joining
+// the cluster whose (delay-shifted) wavefront reaches it first. With
+// parameter beta, each cluster has radius O(log n / beta) w.h.p. and the
+// expected fraction of cut edges is O(beta).
+func LowDiameterDecomposition(g *CSR, beta float64, seed uint64) (label []int32, clusters int) {
+	n := g.NumV
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	if n == 0 {
+		return label, 0
+	}
+	if beta <= 0 {
+		beta = 0.2
+	}
+	// Integer start times: round the exponential delays; vertices whose
+	// delay round is reached before another cluster claimed them become
+	// new cluster centers.
+	delay := make([]int32, n)
+	maxDelay := int32(0)
+	state := seed
+	next := func() float64 {
+		state = state*2862933555777941757 + 3037000493
+		u := float64(state>>11) / (1 << 53)
+		if u <= 0 {
+			u = 1e-300
+		}
+		return u
+	}
+	// The shift is relative to the maximum delay so every vertex starts at
+	// a nonnegative round: start(v) = maxExp − exp(v).
+	exps := make([]float64, n)
+	maxExp := 0.0
+	for i := range exps {
+		exps[i] = -math.Log(next()) / beta
+		if exps[i] > maxExp {
+			maxExp = exps[i]
+		}
+	}
+	for i := range delay {
+		delay[i] = int32(maxExp - exps[i])
+		if delay[i] > maxDelay {
+			maxDelay = delay[i]
+		}
+	}
+	// Bucket vertices by start round.
+	starts := make([][]int32, maxDelay+1)
+	for v := 0; v < n; v++ {
+		starts[delay[v]] = append(starts[delay[v]], int32(v))
+	}
+	var frontier []int32
+	var nc int32
+	for round := int32(0); ; round++ {
+		// New centers: vertices whose start round arrived unclaimed.
+		if int(round) < len(starts) {
+			for _, v := range starts[round] {
+				if label[v] < 0 {
+					label[v] = nc
+					nc++
+					frontier = append(frontier, v)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			if int(round) >= len(starts) {
+				break
+			}
+			continue
+		}
+		var nextFrontier []int32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if label[v] < 0 {
+					label[v] = label[u]
+					nextFrontier = append(nextFrontier, v)
+				}
+			}
+		}
+		frontier = nextFrontier
+	}
+	return label, int(nc)
+}
+
+// CutFraction returns the fraction of edges whose endpoints carry
+// different labels.
+func CutFraction(g *CSR, label []int32) float64 {
+	m := g.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	var cut int64
+	for v := int32(0); int(v) < g.NumV; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v && label[u] != label[v] {
+				cut++
+			}
+		}
+	}
+	return float64(cut) / float64(m)
+}
+
+// ClusterRadius returns the maximum over clusters of the BFS eccentricity
+// from the cluster's first-labeled vertex within the induced cluster
+// subgraph — a diameter bound certificate for a decomposition.
+func ClusterRadius(g *CSR, label []int32, clusters int) int32 {
+	if clusters == 0 {
+		return 0
+	}
+	// First-labeled vertex per cluster = its center by construction of
+	// LowDiameterDecomposition's frontier order.
+	center := make([]int32, clusters)
+	for i := range center {
+		center[i] = -1
+	}
+	for v := 0; v < g.NumV; v++ {
+		l := label[v]
+		if l >= 0 && center[l] < 0 {
+			center[l] = int32(v)
+		}
+	}
+	dist := make([]int32, g.NumV)
+	var worst int32
+	for c := 0; c < clusters; c++ {
+		if center[c] < 0 {
+			continue
+		}
+		// BFS restricted to the cluster.
+		for i := range dist {
+			dist[i] = -1
+		}
+		src := center[c]
+		dist[src] = 0
+		queue := []int32{src}
+		for len(queue) > 0 {
+			var next []int32
+			for _, u := range queue {
+				for _, v := range g.Neighbors(u) {
+					if label[v] == int32(c) && dist[v] < 0 {
+						dist[v] = dist[u] + 1
+						if dist[v] > worst {
+							worst = dist[v]
+						}
+						next = append(next, v)
+					}
+				}
+			}
+			queue = next
+		}
+	}
+	return worst
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// ParallelComponents labels connected components with a
+// Shiloach-Vishkin-style label-propagation + pointer-jumping algorithm
+// (the practical parallel connectivity of Shun, Dhulipala, and Blelloch
+// [37], simplified): every vertex starts as its own label; rounds of
+// min-label hooking across edges alternate with full path compression
+// until no label changes. Labels are then normalized like Components'
+// (ids ordered by each component's smallest vertex).
+func ParallelComponents(g *CSR) (label []int32, count int) {
+	n := g.NumV
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	if n == 0 {
+		return labels, 0
+	}
+	for {
+		var changed int64
+		// Hook: adopt the smaller label across every edge.
+		parallel.ForBlock(n, func(lo, hi int) {
+			var localChanged int64
+			for v := lo; v < hi; v++ {
+				lv := atomic.LoadInt32(&labels[v])
+				for _, u := range g.Neighbors(int32(v)) {
+					lu := atomic.LoadInt32(&labels[u])
+					for lu < lv {
+						if atomic.CompareAndSwapInt32(&labels[v], lv, lu) {
+							localChanged = 1
+							lv = lu
+							break
+						}
+						lv = atomic.LoadInt32(&labels[v])
+					}
+				}
+			}
+			atomic.AddInt64(&changed, localChanged)
+		})
+		// Compress: pointer-jump every label to its root.
+		parallel.For(n, func(v int) {
+			l := atomic.LoadInt32(&labels[v])
+			for {
+				parent := atomic.LoadInt32(&labels[l])
+				if parent == l {
+					break
+				}
+				l = parent
+			}
+			atomic.StoreInt32(&labels[v], l)
+		})
+		if changed == 0 {
+			break
+		}
+	}
+	// Normalize to dense ids in order of smallest member (matching
+	// Components' convention). Roots are always the smallest vertex of
+	// their component after min-hooking, so ascending root order works.
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	var next int32
+	for v := 0; v < n; v++ {
+		r := labels[v]
+		if remap[r] < 0 {
+			remap[r] = next
+			next++
+		}
+		labels[v] = remap[r]
+	}
+	return labels, int(next)
+}

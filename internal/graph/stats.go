@@ -1,0 +1,128 @@
+package graph
+
+// PseudoDiameter estimates the graph diameter with the standard
+// double-sweep heuristic: BFS from start, then BFS again from the farthest
+// vertex found; the second eccentricity is a lower bound on (and usually
+// equal to) the diameter. The diameter drives the paper's analysis of
+// which graphs suit direction-optimizing BFS (Table 1's d_max term,
+// Table 3's road_usa discussion).
+func PseudoDiameter(g *CSR, start int32) int32 {
+	if g.NumV == 0 {
+		return 0
+	}
+	dist := make([]int32, g.NumV)
+	far := bfsFarthest(g, start, dist)
+	return bfsEcc(g, far, dist)
+}
+
+// bfsFarthest runs a serial BFS and returns a farthest reached vertex.
+func bfsFarthest(g *CSR, src int32, dist []int32) int32 {
+	bfsEcc(g, src, dist)
+	best := src
+	for v := 0; v < g.NumV; v++ {
+		if dist[v] > dist[best] {
+			best = int32(v)
+		}
+	}
+	return best
+}
+
+// bfsEcc runs a serial BFS from src into dist and returns the
+// eccentricity (max finite distance).
+func bfsEcc(g *CSR, src int32, dist []int32) int32 {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	var ecc int32
+	for len(queue) > 0 {
+		var next []int32
+		for _, u := range queue {
+			d := dist[u]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = d + 1
+					if d+1 > ecc {
+						ecc = d + 1
+					}
+					next = append(next, v)
+				}
+			}
+		}
+		queue = next
+	}
+	return ecc
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d,
+// up to maxDegree. Degree skew is the second axis (besides diameter) the
+// paper uses to predict direction-optimizing BFS behavior.
+func DegreeHistogram(g *CSR) []int64 {
+	md := int(g.MaxDegree())
+	counts := make([]int64, md+1)
+	for v := 0; v < g.NumV; v++ {
+		counts[g.Degree(int32(v))]++
+	}
+	return counts
+}
+
+// Gini computes the Gini coefficient of the degree distribution — 0 for
+// perfectly regular graphs (grids), approaching 1 for extreme hub-and-
+// spoke skew (stars, power-law graphs). A scalar summary of "skewed
+// degree distribution" for experiment tables.
+func Gini(g *CSR) float64 {
+	n := g.NumV
+	if n == 0 {
+		return 0
+	}
+	// Sort degrees by counting sort over the histogram.
+	hist := DegreeHistogram(g)
+	var cumWeighted, total float64
+	idx := 0
+	for d, c := range hist {
+		for i := int64(0); i < c; i++ {
+			idx++
+			cumWeighted += float64(idx) * float64(d)
+			total += float64(d)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cumWeighted)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// AverageDegree returns 2m/n.
+func AverageDegree(g *CSR) float64 {
+	if g.NumV == 0 {
+		return 0
+	}
+	return float64(2*g.NumEdges()) / float64(g.NumV)
+}
+
+// Summary bundles the stats the experiment tables print per graph.
+type Summary struct {
+	N              int
+	M              int64
+	MaxDegree      int32
+	AvgDegree      float64
+	PseudoDiameter int32
+	DegreeGini     float64
+	MeanGap        float64
+}
+
+// Summarize computes a Summary (runs two serial BFS sweeps; intended for
+// reporting, not hot paths).
+func Summarize(g *CSR) Summary {
+	gs := GapSummary(g)
+	return Summary{
+		N:              g.NumV,
+		M:              g.NumEdges(),
+		MaxDegree:      g.MaxDegree(),
+		AvgDegree:      AverageDegree(g),
+		PseudoDiameter: PseudoDiameter(g, 0),
+		DegreeGini:     Gini(g),
+		MeanGap:        gs.Mean,
+	}
+}

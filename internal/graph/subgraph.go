@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InducedSubgraph extracts the subgraph induced by the given vertex set,
+// relabeling the kept vertices contiguously in ascending original-id order
+// (the same order-preserving convention as LargestComponent). Returns the
+// subgraph and the mapping orig[new] = old. Duplicate ids are rejected.
+func InducedSubgraph(g *CSR, vertices []int32) (*CSR, []int32, error) {
+	orig := append([]int32(nil), vertices...)
+	sort.Slice(orig, func(a, b int) bool { return orig[a] < orig[b] })
+	newID := make(map[int32]int32, len(orig))
+	for i, v := range orig {
+		if v < 0 || int(v) >= g.NumV {
+			return nil, nil, fmt.Errorf("graph: subgraph vertex %d out of range", v)
+		}
+		if i > 0 && orig[i-1] == v {
+			return nil, nil, fmt.Errorf("graph: duplicate subgraph vertex %d", v)
+		}
+		newID[v] = int32(i)
+	}
+	var edges []Edge
+	for _, v := range orig {
+		for k, u := range g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			nu, ok := newID[u]
+			if !ok {
+				continue
+			}
+			w := 1.0
+			if g.Weighted() {
+				w = g.NeighborWeights(v)[k]
+			}
+			edges = append(edges, Edge{U: newID[v], V: nu, W: w})
+		}
+	}
+	sub, err := FromEdges(len(orig), edges, BuildOptions{
+		Weighted:          g.Weighted(),
+		KeepAllComponents: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
+}
+
+// Neighborhood returns all vertices within the given number of hops of
+// center (including center itself).
+func Neighborhood(g *CSR, center int32, hops int) ([]int32, error) {
+	if center < 0 || int(center) >= g.NumV {
+		return nil, fmt.Errorf("graph: neighborhood center %d out of range", center)
+	}
+	if hops < 0 {
+		return nil, fmt.Errorf("graph: negative hop count %d", hops)
+	}
+	seen := map[int32]bool{center: true}
+	frontier := []int32{center}
+	out := []int32{center}
+	for d := 0; d < hops && len(frontier) > 0; d++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					next = append(next, v)
+					out = append(out, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// AtB computes the small dense product C = AᵀB, where A and B are n×s and
+// n×t column-major matrices with large n and small s, t. This is the
+// dgemm step of the TripleProd phase, Z = Sᵀ(LS): the paper notes its
+// arithmetic intensity is s and its depth is independent of s (Table 1).
+//
+// The row dimension is blocked across workers; each worker accumulates a
+// private s×t panel that is reduced serially at the end, so results are
+// deterministic for a fixed worker count.
+func AtB(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("linalg: AtB dimension mismatch")
+	}
+	n, s, t := a.Rows, a.Cols, b.Cols
+	c := NewDense(s, t)
+	var mu sync.Mutex
+	parallel.ForBlock(n, func(lo, hi int) {
+		local := make([]float64, s*t)
+		for j := 0; j < t; j++ {
+			bj := b.Col(j)
+			for i := 0; i < s; i++ {
+				ai := a.Col(i)
+				var sum float64
+				for r := lo; r < hi; r++ {
+					sum += ai[r] * bj[r]
+				}
+				local[j*s+i] = sum
+			}
+		}
+		mu.Lock()
+		for k, v := range local {
+			c.Data[k] += v
+		}
+		mu.Unlock()
+	})
+	return c
+}
+
+// MulSmall computes C = A·Y where A is n×s column-major (large n) and Y is
+// s×p (tiny). This is the final projection [x, y] = B·Y of both HDE
+// variants. Parallelized over row blocks.
+func MulSmall(a, y *Dense) *Dense {
+	if a.Cols != y.Rows {
+		panic("linalg: MulSmall dimension mismatch")
+	}
+	n, s, p := a.Rows, a.Cols, y.Cols
+	c := NewDense(n, p)
+	parallel.ForBlock(n, func(lo, hi int) {
+		for j := 0; j < p; j++ {
+			cj := c.Col(j)
+			for k := 0; k < s; k++ {
+				ak := a.Col(k)
+				f := y.At(k, j)
+				if f == 0 {
+					continue
+				}
+				for r := lo; r < hi; r++ {
+					cj[r] += f * ak[r]
+				}
+			}
+		}
+	})
+	return c
+}

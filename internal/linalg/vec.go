@@ -1,0 +1,98 @@
+// Package linalg provides the parallel vector and matrix kernels behind
+// ParHDE's DOrtho and TripleProd phases: Level-1 style vector operations,
+// a column-major dense matrix, a parallel small-dimension GEMM, and the
+// fused Laplacian × dense-matrix product that never materializes the
+// Laplacian (the paper's key memory optimization over prior work).
+package linalg
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// Dot returns xᵀy. The summation is parallelized with per-worker partials
+// combined serially (log-depth reduction in the paper's model).
+func Dot(x, y []float64) float64 {
+	checkLen(len(x), len(y))
+	return parallel.SumFloat64(len(x), func(i int) float64 { return x[i] * y[i] })
+}
+
+// DDot returns xᵀDy where D is the diagonal matrix diag(d) — the D-inner
+// product used by degree-normalized orthogonalization.
+func DDot(x, d, y []float64) float64 {
+	checkLen(len(x), len(y))
+	checkLen(len(x), len(d))
+	return parallel.SumFloat64(len(x), func(i int) float64 { return x[i] * d[i] * y[i] })
+}
+
+// Axpy computes y ← y + a·x.
+func Axpy(a float64, x, y []float64) {
+	checkLen(len(x), len(y))
+	parallel.ForBlock(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+// Scale computes x ← a·x.
+func Scale(a float64, x []float64) {
+	parallel.ForBlock(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= a
+		}
+	})
+}
+
+// Norm2 returns ‖x‖₂.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Fill sets every element of x to a.
+func Fill(x []float64, a float64) {
+	parallel.ForBlock(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = a
+		}
+	})
+}
+
+// CopyVec copies src into dst.
+func CopyVec(dst, src []float64) {
+	checkLen(len(dst), len(src))
+	parallel.ForBlock(len(src), func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// MinUpdateInt32 computes d[j] ← min(d[j], b[j]) elementwise over int32
+// vectors — the farthest-vertex bookkeeping of the BFS phase ("BFS: Other"
+// in Table 1).
+func MinUpdateInt32(d, b []int32) {
+	checkLen(len(d), len(b))
+	parallel.ForBlock(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if b[i] < d[i] {
+				d[i] = b[i]
+			}
+		}
+	})
+}
+
+// Int32ToFloat64 widens an int32 hop-distance vector into a float64 column.
+func Int32ToFloat64(dst []float64, src []int32) {
+	checkLen(len(dst), len(src))
+	parallel.ForBlock(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = float64(src[i])
+		}
+	})
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic("linalg: dimension mismatch")
+	}
+}

@@ -1,0 +1,90 @@
+package ortho
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Incremental performs Modified Gram-Schmidt one column at a time, so the
+// BFS phase and the DOrtho phase can be coupled: each distance vector is
+// orthogonalized (and either kept or dropped) as soon as its traversal
+// finishes, and the raw O(sn) distance matrix never needs to be stored.
+// §4.4 notes this is exactly the capability CGS gives up ("the use of CGS
+// requires all distance vectors to be precomputed… whereas the default
+// procedure can also be executed with a coupled BFS and
+// D-orthogonalization steps").
+type Incremental struct {
+	n       int
+	d       []float64 // nil = plain orthogonalization
+	kept    [][]float64
+	keptDN  []float64
+	keptIdx []int
+	dropped int
+	seen    int
+	work    []float64
+}
+
+// NewIncremental starts a coupled orthogonalization over length-n vectors
+// with D-inner products diag(d) (nil for plain inner products). The
+// constant direction 1/√n is pre-seeded, exactly as in DOrthogonalize.
+func NewIncremental(n int, d []float64) *Incremental {
+	s0 := make([]float64, n)
+	linalg.Fill(s0, 1/math.Sqrt(float64(n)))
+	return &Incremental{
+		n:      n,
+		d:      d,
+		kept:   [][]float64{s0},
+		keptDN: []float64{dNorm(s0, d)},
+		work:   make([]float64, n),
+	}
+}
+
+// Add orthogonalizes col against everything kept so far and keeps it if it
+// survives the drop tolerance. col is not modified. Reports whether the
+// column was kept.
+func (inc *Incremental) Add(col []float64) bool {
+	if len(col) != inc.n {
+		panic("ortho: Incremental.Add dimension mismatch")
+	}
+	idx := inc.seen
+	inc.seen++
+	linalg.CopyVec(inc.work, col)
+	nrm := linalg.Norm2(inc.work)
+	if nrm <= DropTolerance {
+		inc.dropped++
+		return false
+	}
+	linalg.Scale(1/nrm, inc.work)
+	for j := range inc.kept {
+		c := dDot(inc.kept[j], inc.work, inc.d) / inc.keptDN[j]
+		linalg.Axpy(-c, inc.kept[j], inc.work)
+	}
+	res := linalg.Norm2(inc.work)
+	if res <= DropTolerance {
+		inc.dropped++
+		return false
+	}
+	out := make([]float64, inc.n)
+	linalg.CopyVec(out, inc.work)
+	linalg.Scale(1/res, out)
+	inc.kept = append(inc.kept, out)
+	inc.keptDN = append(inc.keptDN, dNorm(out, inc.d))
+	inc.keptIdx = append(inc.keptIdx, idx)
+	return true
+}
+
+// Result packages the kept columns (constant column excluded) in the same
+// form DOrthogonalize returns. The Incremental must not be used after.
+func (inc *Incremental) Result() Result {
+	out := linalg.NewDense(inc.n, len(inc.keptIdx))
+	for j := range inc.keptIdx {
+		linalg.CopyVec(out.Col(j), inc.kept[j+1])
+	}
+	return Result{
+		S:       out,
+		DNorms:  append([]float64(nil), inc.keptDN[1:]...),
+		Kept:    append([]int(nil), inc.keptIdx...),
+		Dropped: inc.dropped,
+	}
+}

@@ -1,0 +1,110 @@
+// Package partition implements the §4.5.4 extension: using ParHDE vertex
+// coordinates for geometric graph partitioning (the role ScalaPart fills
+// with a force-directed layout) and for visualizing partition structure by
+// coloring intra- versus inter-partition edges.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// CoordinateBisection recursively partitions the vertices into 2^levels
+// parts by splitting at the median along the widest coordinate axis of
+// each block — classic geometric (inertial-free) recursive coordinate
+// bisection driven by the layout.
+func CoordinateBisection(l *core.Layout, levels int) ([]int32, error) {
+	if levels < 0 || levels > 20 {
+		return nil, fmt.Errorf("partition: bad level count %d", levels)
+	}
+	n := l.NumVertices()
+	part := make([]int32, n)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	bisect(l, idx, 0, levels, part)
+	return part, nil
+}
+
+func bisect(l *core.Layout, idx []int32, id int32, levels int, part []int32) {
+	if levels == 0 || len(idx) <= 1 {
+		for _, v := range idx {
+			part[v] = id
+		}
+		return
+	}
+	// Pick the axis with the widest spread over this block.
+	bestAxis, bestSpread := 0, -1.0
+	for k := 0; k < l.Dims(); k++ {
+		col := l.Coords.Col(k)
+		lo, hi := col[idx[0]], col[idx[0]]
+		for _, v := range idx {
+			if col[v] < lo {
+				lo = col[v]
+			}
+			if col[v] > hi {
+				hi = col[v]
+			}
+		}
+		if hi-lo > bestSpread {
+			bestSpread, bestAxis = hi-lo, k
+		}
+	}
+	col := l.Coords.Col(bestAxis)
+	sort.Slice(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
+	mid := len(idx) / 2
+	bisect(l, idx[:mid], id*2, levels-1, part)
+	bisect(l, idx[mid:], id*2+1, levels-1, part)
+}
+
+// CutStats summarizes a partition of g.
+type CutStats struct {
+	Parts     int
+	CutEdges  int64   // edges with endpoints in different parts
+	CutRatio  float64 // CutEdges / m
+	Imbalance float64 // max part size / ideal size
+}
+
+// EvaluateCut computes cut statistics for the given assignment.
+func EvaluateCut(g *graph.CSR, part []int32) CutStats {
+	if len(part) != g.NumV {
+		panic("partition: assignment length mismatch")
+	}
+	maxPart := int32(0)
+	for _, p := range part {
+		if p > maxPart {
+			maxPart = p
+		}
+	}
+	sizes := make([]int64, maxPart+1)
+	for _, p := range part {
+		sizes[p]++
+	}
+	var cut int64
+	for v := int32(0); int(v) < g.NumV; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v && part[u] != part[v] {
+				cut++
+			}
+		}
+	}
+	st := CutStats{Parts: len(sizes), CutEdges: cut}
+	if m := g.NumEdges(); m > 0 {
+		st.CutRatio = float64(cut) / float64(m)
+	}
+	ideal := float64(g.NumV) / float64(len(sizes))
+	var maxSize int64
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if ideal > 0 {
+		st.Imbalance = float64(maxSize) / ideal
+	}
+	return st
+}

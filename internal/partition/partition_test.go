@@ -1,0 +1,199 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/linalg"
+)
+
+func TestCoordinateBisectionBalancedParts(t *testing.T) {
+	g := gen.Grid2D(32, 32)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := CoordinateBisection(lay, 2) // 4 parts
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := EvaluateCut(g, part)
+	if st.Parts != 4 {
+		t.Fatalf("parts = %d", st.Parts)
+	}
+	if st.Imbalance > 1.01 {
+		t.Fatalf("imbalance %.3f", st.Imbalance)
+	}
+	if st.CutRatio <= 0 || st.CutRatio > 0.25 {
+		// A grid has a perfect 4-way cut ratio of about 2·32/1984 ≈ 3%; the
+		// spectral-geometric cut should land well under 25%.
+		t.Fatalf("cut ratio %.3f implausible for a grid", st.CutRatio)
+	}
+}
+
+func TestGeometricBeatsRandomPartition(t *testing.T) {
+	g := gen.PlateWithHoles(30, 30)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoPart, err := CoordinateBisection(lay, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndPart, err := CoordinateBisection(core.RandomLayout(g.NumV, 2, 7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := EvaluateCut(g, geoPart)
+	rnd := EvaluateCut(g, rndPart)
+	if geo.CutEdges >= rnd.CutEdges {
+		t.Fatalf("geometric cut %d not below random-coordinates cut %d", geo.CutEdges, rnd.CutEdges)
+	}
+}
+
+func TestBisectionLevelZero(t *testing.T) {
+	coords := linalg.NewDense(5, 2)
+	l := &core.Layout{Coords: coords}
+	part, err := CoordinateBisection(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("level 0 should assign everything to part 0")
+		}
+	}
+}
+
+func TestBisectionRejectsBadLevels(t *testing.T) {
+	l := &core.Layout{Coords: linalg.NewDense(5, 2)}
+	if _, err := CoordinateBisection(l, -1); err == nil {
+		t.Fatal("negative levels accepted")
+	}
+	if _, err := CoordinateBisection(l, 21); err == nil {
+		t.Fatal("absurd levels accepted")
+	}
+}
+
+func TestEvaluateCutPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvaluateCut(gen.Path(4), []int32{0})
+}
+
+func TestRefineReducesCut(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := CoordinateBisection(lay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := EvaluateCut(g, part)
+	moved := Refine(g, part, RefineOptions{})
+	after := EvaluateCut(g, part)
+	if after.CutEdges > before.CutEdges {
+		t.Fatalf("refinement worsened cut: %d -> %d", before.CutEdges, after.CutEdges)
+	}
+	if moved > 0 && after.CutEdges == before.CutEdges {
+		t.Fatalf("%d moves but cut unchanged", moved)
+	}
+	if after.Imbalance > 1.06 {
+		t.Fatalf("refinement broke balance: %.3f", after.Imbalance)
+	}
+}
+
+func TestRefineFixesBadPartition(t *testing.T) {
+	// A deliberately bad partition (vertex parity) of a grid has a huge
+	// cut; refinement must improve it substantially.
+	g := gen.Grid2D(20, 20)
+	part := make([]int32, g.NumV)
+	for i := range part {
+		part[i] = int32(i % 2)
+	}
+	before := EvaluateCut(g, part)
+	Refine(g, part, RefineOptions{MaxPasses: 20})
+	after := EvaluateCut(g, part)
+	if after.CutEdges >= before.CutEdges/2 {
+		t.Fatalf("refinement too weak: %d -> %d", before.CutEdges, after.CutEdges)
+	}
+}
+
+func TestRefineSinglePartNoop(t *testing.T) {
+	g := gen.Path(10)
+	part := make([]int32, 10)
+	if moved := Refine(g, part, RefineOptions{}); moved != 0 {
+		t.Fatalf("single-part refinement moved %d", moved)
+	}
+}
+
+func TestRefinePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Refine(gen.Path(4), []int32{0, 1}, RefineOptions{})
+}
+
+func TestMultilevelPartitionBothSeeds(t *testing.T) {
+	g := gen.PlateWithHoles(35, 35)
+	for _, hde := range []bool{false, true} {
+		part, st, err := MultilevelPartition(g, MultilevelOptions{
+			Levels:     2,
+			UseHDESeed: hde,
+			Seed:       3,
+		})
+		if err != nil {
+			t.Fatalf("hde=%v: %v", hde, err)
+		}
+		if len(part) != g.NumV {
+			t.Fatalf("hde=%v: partition length %d", hde, len(part))
+		}
+		cut := EvaluateCut(g, part)
+		if cut.Parts != 4 {
+			t.Fatalf("hde=%v: %d parts", hde, cut.Parts)
+		}
+		if cut.Imbalance > 1.15 {
+			t.Fatalf("hde=%v: imbalance %.3f", hde, cut.Imbalance)
+		}
+		// Multilevel + KL must beat a random flat partition by a wide
+		// margin on a mesh.
+		if cut.CutRatio > 0.3 {
+			t.Fatalf("hde=%v: cut ratio %.3f", hde, cut.CutRatio)
+		}
+		if st.TotalMoved == 0 || len(st.MovedPerLevel) != len(st.Levels) {
+			t.Fatalf("hde=%v: stats %+v", hde, st)
+		}
+	}
+}
+
+func TestHDESeedReducesRefinementWork(t *testing.T) {
+	// §4.5.4: coordinates reduce the work in KL-based refinement. The
+	// HDE-seeded multilevel run must move substantially fewer vertices
+	// than the random-seeded one, at comparable or better cut.
+	g := gen.Grid2D(50, 50)
+	_, stRand, err := MultilevelPartition(g, MultilevelOptions{Levels: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partHDE, stHDE, err := MultilevelPartition(g, MultilevelOptions{Levels: 2, UseHDESeed: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stHDE.TotalMoved >= stRand.TotalMoved {
+		t.Fatalf("HDE seed moved %d vertices, random seed %d — expected less work",
+			stHDE.TotalMoved, stRand.TotalMoved)
+	}
+	cutHDE := EvaluateCut(g, partHDE)
+	if cutHDE.CutRatio > 0.2 {
+		t.Fatalf("HDE-seeded cut ratio %.3f", cutHDE.CutRatio)
+	}
+}

@@ -1,0 +1,209 @@
+// Package pivot implements the BFS phase of ParHDE: source (pivot)
+// selection and the s traversals that build the distance matrix B. Two
+// strategies from the paper are provided. The default is the
+// farthest-first 2-approximation to k-centers (Gonzalez), where each BFS
+// is internally parallel and the next source is the vertex maximizing the
+// distance to all previous sources. The alternative (§4.4, Table 6) picks
+// pivots uniformly at random without repetition and runs whole BFSes
+// concurrently — lower overhead for small or high-diameter graphs and when
+// s exceeds the core count.
+package pivot
+
+import (
+	"sync"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+)
+
+// Strategy selects the pivot-selection algorithm.
+type Strategy int
+
+const (
+	// KCenters is the farthest-first strategy of Algorithm 3 (default).
+	KCenters Strategy = iota
+	// Random picks pivots uniformly at random and runs serial BFSes
+	// concurrently, one per worker.
+	Random
+	// RandomMS picks pivots uniformly at random and runs them through the
+	// bit-parallel multi-source BFS (64 searches share each adjacency
+	// scan) — the strongest engine when s is large relative to cores.
+	RandomMS
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case RandomMS:
+		return "random-msbfs"
+	default:
+		return "k-centers"
+	}
+}
+
+// PhaseStats decomposes BFS-phase time the way Figure 5 (middle) does:
+// pure traversal versus "other" overhead (source selection, the min-update
+// reduction, and the int→float widening of B's columns).
+type PhaseStats struct {
+	Sources      []int32
+	Traversal    []bfs.Stats // per-BFS traversal statistics (KCenters only)
+	ScannedEdges int64
+}
+
+// Phase runs the complete BFS phase: s traversals from pivots chosen by
+// the given strategy, writing hop distances into the n×s column-major
+// matrix b. Unreachable is impossible by precondition (connected graph).
+// start is the randomly-chosen first vertex (Algorithm 3, line 4); timers
+// for traversal vs. other work are accumulated via the optional hooks.
+func Phase(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.Options, onTraversal, onOther func(f func())) PhaseStats {
+	if onTraversal == nil {
+		onTraversal = func(f func()) { f() }
+	}
+	if onOther == nil {
+		onOther = func(f func()) { f() }
+	}
+	switch strat {
+	case Random:
+		return randomPhase(g, b, start, onTraversal, onOther)
+	case RandomMS:
+		return randomMSPhase(g, b, start, onTraversal, onOther)
+	default:
+		return kCentersPhase(g, b, start, opt, onTraversal, onOther)
+	}
+}
+
+func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, onTraversal, onOther func(f func())) PhaseStats {
+	n := g.NumV
+	s := b.Cols
+	runner := bfs.NewRunner(g, opt)
+	dist := make([]int32, n)
+	dmin := make([]int32, n)
+	parallel.For(n, func(i int) { dmin[i] = int32(1) << 30 })
+
+	st := PhaseStats{Sources: make([]int32, 0, s)}
+	src := start
+	for i := 0; i < s; i++ {
+		st.Sources = append(st.Sources, src)
+		var ts bfs.Stats
+		onTraversal(func() { ts = runner.Distances(src, dist) })
+		st.Traversal = append(st.Traversal, ts)
+		st.ScannedEdges += ts.ScannedEdges
+		onOther(func() {
+			linalg.Int32ToFloat64(b.Col(i), dist)
+			// d(j) ← min(d(j), b_i(j)); next source = farthest vertex from
+			// all previous sources (lines 13-15 of Algorithm 1).
+			linalg.MinUpdateInt32(dmin, dist)
+			src = int32(parallel.MaxIndexInt32(n, func(j int) int32 { return dmin[j] }))
+		})
+	}
+	return st
+}
+
+// randomPhase runs serial BFSes concurrently: pivot i is processed by
+// whichever worker claims it, each traversal single-threaded. With s ≥
+// workers this keeps every core busy without per-level barriers.
+func randomPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOther func(f func())) PhaseStats {
+	n := g.NumV
+	s := b.Cols
+	st := PhaseStats{Sources: make([]int32, s)}
+	onOther(func() {
+		// Uniform pivots without repetition, seeded by the start vertex so
+		// runs are reproducible.
+		perm := graph.RandomPermutation(n, uint64(start)*0x9e3779b97f4a7c15+1)
+		st.Sources[0] = start
+		k := 1
+		for _, v := range perm {
+			if k == s {
+				break
+			}
+			if v != start {
+				st.Sources[k] = v
+				k++
+			}
+		}
+	})
+	onTraversal(func() {
+		workers := parallel.Workers()
+		var next int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var scanned int64
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				dist := make([]int32, n)
+				var local int64
+				for {
+					mu.Lock()
+					i := int(next)
+					next++
+					mu.Unlock()
+					if i >= s {
+						break
+					}
+					bfs.Serial(g, st.Sources[i], dist)
+					col := b.Col(i)
+					for j := 0; j < n; j++ {
+						col[j] = float64(dist[j])
+					}
+					local += int64(len(g.Adj))
+				}
+				mu.Lock()
+				scanned += local
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		st.ScannedEdges = scanned
+	})
+	return st
+}
+
+// randomMSPhase draws random pivots like randomPhase but traverses them in
+// batches of 64 with the bit-parallel multi-source BFS, sharing adjacency
+// scans across all searches in a batch.
+func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOther func(f func())) PhaseStats {
+	n := g.NumV
+	s := b.Cols
+	st := PhaseStats{Sources: make([]int32, s)}
+	onOther(func() {
+		perm := graph.RandomPermutation(n, uint64(start)*0x9e3779b97f4a7c15+1)
+		st.Sources[0] = start
+		k := 1
+		for _, v := range perm {
+			if k == s {
+				break
+			}
+			if v != start {
+				st.Sources[k] = v
+				k++
+			}
+		}
+	})
+	dists := make([][]int32, 0, 64)
+	for batch := 0; batch < s; batch += 64 {
+		hi := batch + 64
+		if hi > s {
+			hi = s
+		}
+		sources := st.Sources[batch:hi]
+		dists = dists[:0]
+		for i := batch; i < hi; i++ {
+			dists = append(dists, make([]int32, n))
+		}
+		onTraversal(func() {
+			ms := bfs.MSBFS(g, sources, dists)
+			st.ScannedEdges += ms.ScannedEdges
+		})
+		onOther(func() {
+			for i := batch; i < hi; i++ {
+				linalg.Int32ToFloat64(b.Col(i), dists[i-batch])
+			}
+		})
+	}
+	return st
+}

@@ -1,0 +1,51 @@
+package pivot
+
+import (
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+	"repro/internal/sssp"
+)
+
+// PhaseWeighted is the weighted-graph BFS phase of §3.3: Δ-stepping SSSP
+// replaces each parallel BFS, with the same farthest-first source
+// selection over real-valued distances. delta ≤ 0 selects
+// sssp.SuggestDelta's heuristic.
+func PhaseWeighted(g *graph.CSR, b *linalg.Dense, start int32, delta float64, onTraversal, onOther func(f func())) PhaseStats {
+	if onTraversal == nil {
+		onTraversal = func(f func()) { f() }
+	}
+	if onOther == nil {
+		onOther = func(f func()) { f() }
+	}
+	if delta <= 0 {
+		delta = sssp.SuggestDelta(g)
+	}
+	n := g.NumV
+	s := b.Cols
+	dist := make([]float64, n)
+	dmin := make([]float64, n)
+	parallel.For(n, func(i int) { dmin[i] = sssp.Inf })
+
+	st := PhaseStats{Sources: make([]int32, 0, s)}
+	src := start
+	for i := 0; i < s; i++ {
+		st.Sources = append(st.Sources, src)
+		onTraversal(func() {
+			ds := sssp.DeltaStepping(g, src, delta, dist)
+			st.ScannedEdges += ds.EdgesScanned
+		})
+		onOther(func() {
+			linalg.CopyVec(b.Col(i), dist)
+			parallel.ForBlock(n, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					if dist[j] < dmin[j] {
+						dmin[j] = dist[j]
+					}
+				}
+			})
+			src = int32(parallel.MaxIndexFloat64(n, func(j int) float64 { return dmin[j] }))
+		})
+	}
+	return st
+}

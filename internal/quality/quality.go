@@ -1,0 +1,245 @@
+// Package quality implements the standard drawing-quality measures of the
+// experimental literature the paper leans on (Brandes & Pich's study [6],
+// Hachul & Jünger [21]): neighborhood preservation (do graph neighbors
+// land nearby in the picture?) and sampled edge-crossing rate. Together
+// with core.Evaluate's Hall energy and core.DistanceCorrelation they give
+// a quantitative stand-in for the paper's visual drawing comparisons.
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// NeighborhoodPreservation computes the mean precision@k between graph
+// neighborhoods and layout neighborhoods over a deterministic sample of
+// vertices: for each sampled v, the k vertices closest in the drawing are
+// compared with v's k graph-nearest vertices (BFS order, ties broken by
+// id). Returns a value in [0, 1]; 1 means every drawn neighborhood is a
+// graph neighborhood.
+func NeighborhoodPreservation(g *graph.CSR, l *core.Layout, k, sample int, seed uint64) float64 {
+	n := g.NumV
+	if n < 2 || k < 1 {
+		return 0
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if sample > n {
+		sample = n
+	}
+	perm := graph.RandomPermutation(n, seed)
+	var total float64
+	dist := make([]int32, n)
+	for si := 0; si < sample; si++ {
+		v := perm[si]
+		graphNear := graphKNearest(g, v, k, dist)
+		layoutNear := layoutKNearest(l, v, k)
+		inter := 0
+		for u := range layoutNear {
+			if graphNear[u] {
+				inter++
+			}
+		}
+		total += float64(inter) / float64(k)
+	}
+	return total / float64(sample)
+}
+
+// graphKNearest returns the k vertices (excluding v) closest to v in hop
+// distance, ties broken by vertex id — computed with a truncated BFS.
+func graphKNearest(g *graph.CSR, v int32, k int, dist []int32) map[int32]bool {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[v] = 0
+	queue := []int32{v}
+	out := make(map[int32]bool, k)
+	for len(queue) > 0 && len(out) < k {
+		var next []int32
+		// Sort current level by id for deterministic tie-breaking.
+		sort.Slice(queue, func(a, b int) bool { return queue[a] < queue[b] })
+		for _, u := range queue {
+			for _, w := range g.Neighbors(u) {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					next = append(next, w)
+				}
+			}
+		}
+		sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+		for _, w := range next {
+			if len(out) == k {
+				break
+			}
+			out[w] = true
+		}
+		queue = next
+	}
+	return out
+}
+
+// layoutKNearest returns the k vertices closest to v in the drawing,
+// via a uniform grid over the unit-normalized coordinates.
+func layoutKNearest(l *core.Layout, v int32, k int) map[int32]bool {
+	n := l.NumVertices()
+	x, y := l.X(), l.Y()
+	// Normalize bounds for binning.
+	minX, maxX := minMax(x)
+	minY, maxY := minMax(y)
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	cells := int(math.Sqrt(float64(n))) + 1
+	if cells > 512 {
+		cells = 512
+	}
+	cellOf := func(u int32) (int, int) {
+		cx := int((x[u] - minX) / spanX * float64(cells-1))
+		cy := int((y[u] - minY) / spanY * float64(cells-1))
+		return cx, cy
+	}
+	grid := make(map[[2]int][]int32, n/4)
+	for u := int32(0); int(u) < n; u++ {
+		cx, cy := cellOf(u)
+		grid[[2]int{cx, cy}] = append(grid[[2]int{cx, cy}], u)
+	}
+	type cand struct {
+		u int32
+		d float64
+	}
+	var cands []cand
+	cx, cy := cellOf(v)
+	for ring := 0; ring < cells; ring++ {
+		// Collect the ring's cells.
+		added := false
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if maxAbs(dx, dy) != ring {
+					continue
+				}
+				for _, u := range grid[[2]int{cx + dx, cy + dy}] {
+					if u == v {
+						continue
+					}
+					ddx, ddy := x[u]-x[v], y[u]-y[v]
+					cands = append(cands, cand{u, ddx*ddx + ddy*ddy})
+					added = true
+				}
+			}
+		}
+		// Stop once we have comfortably more than k candidates and one
+		// further ring of margin (grid distance lower-bounds true
+		// distance within a ring).
+		if len(cands) >= 3*k && added {
+			break
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].u < cands[b].u
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make(map[int32]bool, len(cands))
+	for _, c := range cands {
+		out[c.u] = true
+	}
+	return out
+}
+
+// SampledCrossingRate estimates the fraction of edge pairs that cross in
+// the drawing by sampling `samples` random pairs of independent edges.
+// A planar-quality mesh drawing should score orders of magnitude below a
+// random placement.
+func SampledCrossingRate(g *graph.CSR, l *core.Layout, samples int, seed uint64) float64 {
+	m := g.NumEdges()
+	if m < 2 || samples < 1 {
+		return 0
+	}
+	// Collect edges once (u < v).
+	edges := make([][2]int32, 0, m)
+	for v := int32(0); int(v) < g.NumV; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				edges = append(edges, [2]int32{v, u})
+			}
+		}
+	}
+	state := seed
+	next := func() uint64 {
+		state = state*2862933555777941757 + 3037000493
+		return state
+	}
+	x, y := l.X(), l.Y()
+	crossings := 0
+	valid := 0
+	for t := 0; t < samples; t++ {
+		e1 := edges[next()%uint64(len(edges))]
+		e2 := edges[next()%uint64(len(edges))]
+		if e1[0] == e2[0] || e1[0] == e2[1] || e1[1] == e2[0] || e1[1] == e2[1] {
+			continue // shared endpoint: not a crossing candidate
+		}
+		valid++
+		if segmentsCross(
+			x[e1[0]], y[e1[0]], x[e1[1]], y[e1[1]],
+			x[e2[0]], y[e2[0]], x[e2[1]], y[e2[1]]) {
+			crossings++
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	return float64(crossings) / float64(valid)
+}
+
+// segmentsCross reports proper intersection of segments ab and cd.
+func segmentsCross(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+	d1 := orient(cx, cy, dx, dy, ax, ay)
+	d2 := orient(cx, cy, dx, dy, bx, by)
+	d3 := orient(ax, ay, bx, by, cx, cy)
+	d4 := orient(ax, ay, bx, by, dx, dy)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+func orient(ax, ay, bx, by, cx, cy float64) float64 {
+	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+}
+
+func minMax(v []float64) (float64, float64) {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

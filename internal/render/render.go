@@ -1,0 +1,142 @@
+// Package render writes node-link drawings of graph layouts to PNG files
+// using only the standard library — the untimed output step of the
+// paper's pipeline ("we use an open-source PNG format file writer to
+// create the drawings. Edges are drawn as straight lines of fixed
+// thickness").
+package render
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Options controls the rendered image.
+type Options struct {
+	Size   int        // image width and height in pixels (default 800)
+	Margin int        // border in pixels (default 16)
+	Edge   color.RGBA // edge color (default dark slate)
+	Back   color.RGBA // background (default white)
+	// EdgeClass, when non-nil, maps an edge to a class index into Palette;
+	// used to color intra- vs inter-partition edges (§4.5.4).
+	EdgeClass func(u, v int32) int
+	Palette   []color.RGBA
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size <= 0 {
+		o.Size = 800
+	}
+	if o.Margin <= 0 {
+		o.Margin = 16
+	}
+	if o.Margin*2 >= o.Size {
+		o.Margin = o.Size / 8
+	}
+	if o.Edge == (color.RGBA{}) {
+		o.Edge = color.RGBA{R: 40, G: 40, B: 60, A: 255}
+	}
+	if o.Back == (color.RGBA{}) {
+		o.Back = color.RGBA{R: 255, G: 255, B: 255, A: 255}
+	}
+	return o
+}
+
+// Project3D returns a 2-D isometric projection of a 3-D layout
+// (x' = x − z/√2, y' = y − z/√2), so p=3 embeddings (the paper allows
+// p ∈ {2, 3}) can go through the same 2-D renderers. 2-D layouts are
+// returned unchanged.
+func Project3D(l *core.Layout) *core.Layout {
+	if l.Dims() < 3 {
+		return l
+	}
+	out := &core.Layout{Coords: linalg.NewDense(l.NumVertices(), 2)}
+	x, y, z := l.Coords.Col(0), l.Coords.Col(1), l.Coords.Col(2)
+	ox, oy := out.Coords.Col(0), out.Coords.Col(1)
+	const f = 0.70710678118654752 // 1/√2
+	for i := range x {
+		ox[i] = x[i] - f*z[i]
+		oy[i] = y[i] - f*z[i]
+	}
+	return out
+}
+
+// Draw renders the layout of g as straight-line edges and writes a PNG.
+// 3-D layouts are isometrically projected first.
+func Draw(w io.Writer, g *graph.CSR, l *core.Layout, opt Options) error {
+	opt = opt.withDefaults()
+	l = Project3D(l)
+	img := image.NewRGBA(image.Rect(0, 0, opt.Size, opt.Size))
+	for y := 0; y < opt.Size; y++ {
+		for x := 0; x < opt.Size; x++ {
+			img.SetRGBA(x, y, opt.Back)
+		}
+	}
+	norm := l.Clone()
+	norm.NormalizeUnit()
+	scale := float64(opt.Size - 2*opt.Margin)
+	px := func(v int32) (float64, float64) {
+		return float64(opt.Margin) + norm.X()[v]*scale,
+			float64(opt.Margin) + norm.Y()[v]*scale
+	}
+	for v := int32(0); int(v) < g.NumV; v++ {
+		x0, y0 := px(v)
+		for _, u := range g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			x1, y1 := px(u)
+			c := opt.Edge
+			if opt.EdgeClass != nil && len(opt.Palette) > 0 {
+				c = opt.Palette[opt.EdgeClass(v, u)%len(opt.Palette)]
+			}
+			line(img, x0, y0, x1, y1, c)
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// line draws an anti-alias-free 1px line with the integer Bresenham walk.
+func line(img *image.RGBA, x0, y0, x1, y1 float64, c color.RGBA) {
+	ix0, iy0 := int(x0+0.5), int(y0+0.5)
+	ix1, iy1 := int(x1+0.5), int(y1+0.5)
+	dx := abs(ix1 - ix0)
+	dy := -abs(iy1 - iy0)
+	sx, sy := 1, 1
+	if ix0 > ix1 {
+		sx = -1
+	}
+	if iy0 > iy1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if image.Pt(ix0, iy0).In(img.Rect) {
+			img.SetRGBA(ix0, iy0, c)
+		}
+		if ix0 == ix1 && iy0 == iy1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			ix0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			iy0 += sy
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,206 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"image/color"
+	"image/png"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestDrawProducesDecodablePNG(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Draw(&buf, g, lay, Options{Size: 120}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 120 || b.Dy() != 120 {
+		t.Fatalf("image %dx%d", b.Dx(), b.Dy())
+	}
+	// At least one pixel must be non-background (edges were drawn).
+	found := false
+	for y := 0; y < 120 && !found; y++ {
+		for x := 0; x < 120; x++ {
+			r, g2, b2, _ := img.At(x, y).RGBA()
+			if r != 0xffff || g2 != 0xffff || b2 != 0xffff {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("image is blank")
+	}
+}
+
+func TestDrawWithEdgeClasses(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opts := Options{
+		Size: 80,
+		EdgeClass: func(u, v int32) int {
+			if (u+v)%2 == 0 {
+				return 0
+			}
+			return 1
+		},
+		Palette: []color.RGBA{
+			{R: 255, A: 255},
+			{B: 255, A: 255},
+		},
+	}
+	if err := Draw(&buf, g, lay, opts); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reds, blues := 0, 0
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r, g2, b2, _ := img.At(x, y).RGBA()
+			if r == 0xffff && g2 == 0 && b2 == 0 {
+				reds++
+			}
+			if b2 == 0xffff && g2 == 0 && r == 0 {
+				blues++
+			}
+		}
+	}
+	if reds == 0 || blues == 0 {
+		t.Fatalf("edge classes not rendered: %d red, %d blue pixels", reds, blues)
+	}
+}
+
+func TestDrawDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Size != 800 || o.Margin != 16 || o.Edge.A == 0 || o.Back.A == 0 {
+		t.Fatalf("defaults %+v", o)
+	}
+	// Degenerate margin falls back.
+	o = Options{Size: 10, Margin: 6}.withDefaults()
+	if o.Margin*2 >= o.Size {
+		t.Fatalf("margin %d not clamped for size %d", o.Margin, o.Size)
+	}
+}
+
+func TestDrawSVGWellFormed(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DrawSVG(&buf, g, lay, Options{Size: 200}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not an SVG document: %.80s", out)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// One line element per edge plus svg/rect.
+	if got := strings.Count(out, "<line "); int64(got) != g.NumEdges() {
+		t.Fatalf("%d line elements for %d edges", got, g.NumEdges())
+	}
+}
+
+func TestDrawSVGEdgeClasses(t *testing.T) {
+	g := gen.Path(4)
+	lay := core.RandomLayout(4, 2, 1)
+	var buf bytes.Buffer
+	opts := Options{
+		Size:      100,
+		EdgeClass: func(u, v int32) int { return int(u) % 2 },
+		Palette: []color.RGBA{
+			{R: 255, A: 255},
+			{G: 255, A: 255},
+		},
+	}
+	if err := DrawSVG(&buf, g, lay, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#ff0000") || !strings.Contains(out, "#00ff00") {
+		t.Fatalf("palette colors missing: %s", out)
+	}
+}
+
+func TestProject3D(t *testing.T) {
+	g := gen.Mesh3D(6, 6, 6)
+	lay, _, err := core.ParHDE(g, core.Options{Subspace: 10, Dims: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := Project3D(lay)
+	if proj.Dims() != 2 || proj.NumVertices() != g.NumV {
+		t.Fatalf("projection shape %dx%d", proj.NumVertices(), proj.Dims())
+	}
+	// 2-D layouts pass through untouched.
+	two := core.RandomLayout(10, 2, 1)
+	if Project3D(two) != two {
+		t.Fatal("2D layout should be returned as-is")
+	}
+	// 3-D layouts render directly.
+	var buf bytes.Buffer
+	if err := Draw(&buf, g, lay, Options{Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := gen.WithRandomWeights(gen.Grid2D(5, 5), 7, 1)
+	lay, _, err := core.ParHDE(g.Unweighted(), core.Options{Subspace: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, lay, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph parhde {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("malformed DOT: %.60s", out)
+	}
+	if got := strings.Count(out, "pos="); int64(got) != int64(g.NumV) {
+		t.Fatalf("%d pos attributes for %d vertices", got, g.NumV)
+	}
+	if got := strings.Count(out, " -- "); int64(got) != g.NumEdges() {
+		t.Fatalf("%d edges in DOT for m=%d", got, g.NumEdges())
+	}
+	if !strings.Contains(out, "weight=") {
+		t.Fatal("weighted graph lost weights in DOT")
+	}
+}

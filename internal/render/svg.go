@@ -1,0 +1,55 @@
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// DrawSVG writes the layout as a scalable vector drawing — the natural
+// format for the §4.5.2 browser-based visualization path, where PNG
+// rasterization loses detail on zoom. Edges are straight 1px lines, as in
+// the paper's drawings; Options.EdgeClass/Palette color edges exactly as
+// in Draw.
+func DrawSVG(w io.Writer, g *graph.CSR, l *core.Layout, opt Options) error {
+	opt = opt.withDefaults()
+	l = Project3D(l)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	norm := l.Clone()
+	norm.NormalizeUnit()
+	scale := float64(opt.Size - 2*opt.Margin)
+	px := func(v int32) (float64, float64) {
+		return float64(opt.Margin) + norm.X()[v]*scale,
+			float64(opt.Margin) + norm.Y()[v]*scale
+	}
+	if _, err := fmt.Fprintf(bw,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Size, opt.Size, opt.Size, opt.Size); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="#%02x%02x%02x"/>`+"\n",
+		opt.Back.R, opt.Back.G, opt.Back.B)
+	for v := int32(0); int(v) < g.NumV; v++ {
+		x0, y0 := px(v)
+		for _, u := range g.Neighbors(v) {
+			if u <= v {
+				continue
+			}
+			x1, y1 := px(u)
+			c := opt.Edge
+			if opt.EdgeClass != nil && len(opt.Palette) > 0 {
+				c = opt.Palette[opt.EdgeClass(v, u)%len(opt.Palette)]
+			}
+			fmt.Fprintf(bw,
+				`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#%02x%02x%02x" stroke-width="1"/>`+"\n",
+				x0, y0, x1, y1, c.R, c.G, c.B)
+		}
+	}
+	if _, err := fmt.Fprintln(bw, `</svg>`); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,199 @@
+// Package server implements the §4.5.2 vision of ParHDE's zoom feature:
+// "this would be useful for future browser-based interactive graph
+// visualization". It serves the global layout of a graph and renders
+// zoomed k-hop neighborhood layouts on demand — feasible interactively
+// because ParHDE lays out million-edge graphs in real time.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/render"
+)
+
+// Server holds one laid-out graph and renders views of it.
+type Server struct {
+	g      *graph.CSR
+	layout *core.Layout
+	opt    core.Options
+
+	mu    sync.Mutex
+	cache map[string][]byte // rendered PNGs by query signature
+}
+
+// New computes the global layout of g and returns a ready-to-serve
+// Server.
+func New(g *graph.CSR, opt core.Options) (*Server, error) {
+	layout, _, err := core.ParHDE(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{g: g, layout: layout, opt: opt, cache: map[string][]byte{}}, nil
+}
+
+// Handler returns the HTTP mux: / (page), /layout.png, /zoom.png, /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/layout.png", s.handleLayout)
+	mux.HandleFunc("/layout.svg", s.handleLayoutSVG)
+	mux.HandleFunc("/zoom.png", s.handleZoom)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+var page = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>ParHDE interactive layout</title></head>
+<body style="font-family:sans-serif">
+<h1>ParHDE layout — n={{.N}}, m={{.M}}</h1>
+<p>Global structure below. Zoom into a vertex's neighborhood:</p>
+<form action="/" method="get">
+  vertex <input name="v" value="{{.V}}" size="9">
+  hops <input name="hops" value="{{.Hops}}" size="3">
+  <input type="submit" value="zoom">
+</form>
+{{if .ShowZoom}}<h2>{{.Hops}}-hop neighborhood of vertex {{.V}}</h2>
+<img src="/zoom.png?v={{.V}}&hops={{.Hops}}" width="45%">{{end}}
+<h2>Global layout</h2>
+<img src="/layout.png" width="45%">
+</body></html>`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	v, hops, ok := parseZoomParams(r, s.g.NumV)
+	data := struct {
+		N, M     int64
+		V        int32
+		Hops     int
+		ShowZoom bool
+	}{int64(s.g.NumV), s.g.NumEdges(), v, hops, ok && r.URL.Query().Get("v") != ""}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := page.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	png, err := s.renderCached("global", func() (*graph.CSR, *core.Layout, error) {
+		return s.g, s.layout, nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	_, _ = w.Write(png)
+}
+
+func (s *Server) handleLayoutSVG(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	svg, ok := s.cache["global.svg"]
+	s.mu.Unlock()
+	if !ok {
+		var buf writerBuffer
+		if err := render.DrawSVG(&buf, s.g, s.layout, render.Options{Size: 700}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.mu.Lock()
+		s.cache["global.svg"] = buf.b
+		s.mu.Unlock()
+		svg = buf.b
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(svg)
+}
+
+func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
+	v, hops, ok := parseZoomParams(r, s.g.NumV)
+	if !ok {
+		http.Error(w, "bad v/hops parameters", http.StatusBadRequest)
+		return
+	}
+	key := fmt.Sprintf("zoom:%d:%d", v, hops)
+	png, err := s.renderCached(key, func() (*graph.CSR, *core.Layout, error) {
+		z, err := core.Zoom(s.g, v, hops, s.opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return z.Subgraph, z.Layout, nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	_, _ = w.Write(png)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	q := core.Evaluate(s.g, s.layout)
+	stats := map[string]interface{}{
+		"vertices":       s.g.NumV,
+		"edges":          s.g.NumEdges(),
+		"maxDegree":      s.g.MaxDegree(),
+		"hallRatio":      q.HallRatio,
+		"meanEdgeLength": q.MeanEdgeLength,
+		"edgeLengthCV":   q.EdgeLengthCV,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(stats); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// renderCached renders a view once and caches the PNG bytes.
+func (s *Server) renderCached(key string, view func() (*graph.CSR, *core.Layout, error)) ([]byte, error) {
+	s.mu.Lock()
+	if png, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return png, nil
+	}
+	s.mu.Unlock()
+	g, lay, err := view()
+	if err != nil {
+		return nil, err
+	}
+	var buf writerBuffer
+	if err := render.Draw(&buf, g, lay, render.Options{Size: 700}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = buf.b
+	s.mu.Unlock()
+	return buf.b, nil
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func parseZoomParams(r *http.Request, n int) (int32, int, bool) {
+	q := r.URL.Query()
+	v64, err1 := strconv.ParseInt(defaultStr(q.Get("v"), "0"), 10, 32)
+	hops, err2 := strconv.Atoi(defaultStr(q.Get("hops"), "10"))
+	if err1 != nil || err2 != nil || v64 < 0 || int(v64) >= n || hops < 1 || hops > 100 {
+		return 0, 10, false
+	}
+	return int32(v64), hops, true
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

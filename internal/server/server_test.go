@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g := gen.PlateWithHoles(30, 30)
+	s, err := New(g, core.Options{Subspace: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestIndexPage(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	if !strings.Contains(body, "ParHDE layout") || !strings.Contains(body, "/layout.png") {
+		t.Fatalf("unexpected page: %.200s", body)
+	}
+}
+
+func TestLayoutPNG(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/layout.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("content type %q", ct)
+	}
+	img, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 700 {
+		t.Fatalf("image width %d", img.Bounds().Dx())
+	}
+}
+
+func TestZoomPNGAndValidation(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/zoom.png?v=100&hops=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := png.Decode(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"v=-1", "v=99999999", "hops=0", "hops=200", "v=abc"} {
+		r, err := http.Get(ts.URL + "/zoom.png?" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400", bad, r.StatusCode)
+		}
+	}
+}
+
+func TestZoomCaching(t *testing.T) {
+	g := gen.Grid2D(15, 15)
+	s, err := New(g, core.Options{Subspace: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/zoom.png?v=10&hops=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	s.mu.Lock()
+	_, cached := s.cache["zoom:10:4"]
+	s.mu.Unlock()
+	if !cached {
+		t.Fatal("zoom render not cached")
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"vertices", "edges", "hallRatio"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %q: %v", key, stats)
+		}
+	}
+}
+
+func TestUnknownPath404(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestLayoutSVG(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 2; i++ { // second hit exercises the cache
+		resp, err := http.Get(ts.URL + "/layout.svg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+			t.Fatalf("content type %q", ct)
+		}
+		buf := make([]byte, 64)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		if !strings.HasPrefix(string(buf[:n]), "<svg") {
+			t.Fatalf("not svg: %q", string(buf[:n]))
+		}
+	}
+}

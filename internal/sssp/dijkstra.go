@@ -1,0 +1,54 @@
+package sssp
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// Dijkstra computes shortest-path distances from src with a binary heap —
+// the sequential reference implementation used to validate Δ-stepping and
+// as the serial baseline in the weighted-graph experiments.
+func Dijkstra(g *graph.CSR, src int32, dist []float64) {
+	if !g.Weighted() {
+		panic("sssp: Dijkstra requires a weighted graph")
+	}
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue // stale entry
+		}
+		adj := g.Adj[g.Offsets[top.v]:g.Offsets[top.v+1]]
+		wts := g.Weights[g.Offsets[top.v]:g.Offsets[top.v+1]]
+		for k, u := range adj {
+			if nd := top.d + wts[k]; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distEntry{v: u, d: nd})
+			}
+		}
+	}
+}
+
+type distEntry struct {
+	v int32
+	d float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

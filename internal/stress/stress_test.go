@@ -1,0 +1,122 @@
+package stress
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestFullStressDecreasesMonotonically(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	l := core.RandomLayout(g.NumV, 2, 1)
+	res, err := Full(g, l, Options{MaxIters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 2 {
+		t.Fatalf("history %v", res.History)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]*1.0001 {
+			t.Fatalf("stress increased at %d: %.6g -> %.6g", i, res.History[i-1], res.History[i])
+		}
+	}
+	if res.Stress >= res.History[0] {
+		t.Fatal("no improvement over initial stress")
+	}
+}
+
+func TestFullStressRecoversCycleGeometry(t *testing.T) {
+	// A cycle's stress-optimal drawing is (near) a circle: all edge lengths
+	// equal. Check the edge-length coefficient of variation is small.
+	g := gen.Cycle(40)
+	l := core.RandomLayout(g.NumV, 2, 3)
+	if _, err := Full(g, l, Options{MaxIters: 300, Tol: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	q := core.Evaluate(g, l)
+	if q.EdgeLengthCV > 0.25 {
+		t.Fatalf("cycle edge-length CV %.3f after full stress", q.EdgeLengthCV)
+	}
+}
+
+func TestHDESeedConvergesFasterThanRandom(t *testing.T) {
+	// §4.5.4: an HDE layout is a good initialization for stress
+	// majorization. After the same few iterations the HDE-seeded run must
+	// be at lower stress than the random-seeded run.
+	g := gen.PlateWithHoles(20, 20)
+	iters := Options{MaxIters: 5, Tol: 0}
+
+	hdeLay, _, err := core.ParHDE(g, core.Options{Subspace: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdeLay.NormalizeUnit()
+	resHDE, err := Full(g, hdeLay, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndLay := core.RandomLayout(g.NumV, 2, 2)
+	resRnd, err := Full(g, rndLay, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHDE.History[0] >= resRnd.History[0] {
+		t.Fatalf("initial stress: HDE %.4g not below random %.4g", resHDE.History[0], resRnd.History[0])
+	}
+	if resHDE.Stress >= resRnd.Stress {
+		t.Fatalf("after %d iters: HDE-seeded %.4g not below random-seeded %.4g",
+			iters.MaxIters, resHDE.Stress, resRnd.Stress)
+	}
+}
+
+func TestSparseStressImprovesLayout(t *testing.T) {
+	g := gen.PlateWithHoles(30, 30)
+	l := core.RandomLayout(g.NumV, 2, 5)
+	res, err := Sparse(g, l, Options{MaxIters: 40, Pivots: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stress >= res.History[0] {
+		t.Fatal("sparse stress did not decrease")
+	}
+	// The result must be a sane layout: better Hall ratio than random.
+	q := core.Evaluate(g, l)
+	r := core.Evaluate(g, core.RandomLayout(g.NumV, 2, 6))
+	if q.HallRatio >= r.HallRatio {
+		t.Fatalf("sparse stress quality %.4g not better than random %.4g", q.HallRatio, r.HallRatio)
+	}
+}
+
+func TestFullRejectsMisuse(t *testing.T) {
+	big := gen.Grid2D(200, 200)
+	if _, err := Full(big, core.RandomLayout(big.NumV, 2, 1), Options{}); err == nil {
+		t.Fatal("full stress accepted a 40k-vertex graph")
+	}
+	g := gen.Grid2D(5, 5)
+	if _, err := Full(g, core.RandomLayout(7, 2, 1), Options{}); err == nil {
+		t.Fatal("layout size mismatch accepted")
+	}
+	if _, err := Sparse(g, core.RandomLayout(7, 2, 1), Options{}); err == nil {
+		t.Fatal("sparse layout size mismatch accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIters != 100 || o.Tol != 1e-4 || o.Pivots != 16 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestPairStressZeroDistanceGuard(t *testing.T) {
+	l := core.RandomLayout(4, 2, 1)
+	if s := pairStress(l, 0, 1, 0); s != 0 {
+		t.Fatalf("pairStress with d=0 returned %g", s)
+	}
+	if s := pairStress(l, 0, 1, 1); math.IsNaN(s) || s < 0 {
+		t.Fatalf("pairStress = %g", s)
+	}
+}

@@ -2,6 +2,12 @@
 // viewer: it lays out a graph with ParHDE once, then serves the global
 // drawing plus on-demand zoomed neighborhood layouts over HTTP.
 //
+// The HTTP server is hardened for real traffic: read/write/idle
+// timeouts (so slow clients cannot pin connections), a byte-budget
+// render cache, Prometheus-style /metrics plus /healthz, optional
+// /debug/pprof/, and graceful shutdown on SIGINT/SIGTERM that drains
+// in-flight requests.
+//
 // Usage:
 //
 //	hdeserve -in graph.txt -addr :8080
@@ -10,11 +16,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -29,6 +39,19 @@ func main() {
 		demo   = flag.Bool("demo", false, "serve the built-in plate-with-holes demo mesh")
 		s      = flag.Int("s", 50, "subspace dimension")
 		addr   = flag.String("addr", "localhost:8080", "listen address")
+
+		cacheBytes = flag.Int64("cache-bytes", server.DefaultCacheBytes,
+			"render cache budget in bytes (negative = unbounded)")
+		maxRenders = flag.Int("max-renders", 0,
+			"max concurrently executing renders (0 = GOMAXPROCS)")
+		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
+		quiet   = flag.Bool("quiet", false, "disable the per-request access log")
+
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second,
+			"how long graceful shutdown waits for in-flight requests")
 	)
 	flag.Parse()
 
@@ -67,10 +90,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := server.New(g, core.Options{Subspace: *s, Seed: 1})
+	cfg := server.Config{
+		CacheBytes:           *cacheBytes,
+		MaxConcurrentRenders: *maxRenders,
+		EnablePprof:          *pprofOn,
+	}
+	if !*quiet {
+		cfg.AccessLog = log.New(os.Stderr, "access ", log.LstdFlags)
+	}
+	srv, err := server.NewWithConfig(g, core.Options{Subspace: *s, Seed: 1}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving layout of n=%d m=%d on http://%s/", g.NumV, g.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving layout of n=%d m=%d on http://%s/ (layout took %v)",
+		g.NumV, g.NumEdges(), *addr, srv.Report().Breakdown.Total.Round(time.Millisecond))
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("signal received; draining in-flight requests (up to %v)", *drainTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
 }

@@ -45,6 +45,29 @@ func (b Breakdown) Percentages() (bfsP, tripleP, orthoP, otherP float64) {
 		100 * float64(b.Other()) / tot
 }
 
+// Phase is one named entry of the per-phase breakdown, in export form.
+type Phase struct {
+	Name string
+	D    time.Duration
+}
+
+// Phases returns the breakdown as an ordered name/duration list, the form
+// a metrics layer exports (one gauge per phase).
+func (b Breakdown) Phases() []Phase {
+	return []Phase{
+		{"bfs_traversal", b.BFSTraversal},
+		{"bfs_other", b.BFSOther},
+		{"dortho", b.DOrtho},
+		{"ls", b.LS},
+		{"gemm", b.Gemm},
+		{"eigensolve", b.Eigensolve},
+		{"project", b.Project},
+		{"centering", b.Centering},
+		{"lap_build", b.LapBuild},
+		{"total", b.Total},
+	}
+}
+
 func (b Breakdown) String() string {
 	bp, tp, op, rp := b.Percentages()
 	return fmt.Sprintf("total %v | BFS %v (%.1f%%) TripleProd %v (%.1f%%) DOrtho %v (%.1f%%) Other %v (%.1f%%)",

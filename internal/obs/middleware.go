@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming, so
+// wrapping a handler does not silently disable flushing.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with request accounting and an optional
+// structured access log. Per-route request counters
+// (http_requests_total{route=...,code=...}) and latency histograms
+// (http_request_duration_seconds{route=...}) land in reg. routeOf maps a
+// request to a bounded route label — pass nil to use the raw URL path
+// (only safe when the path space is bounded). logger, when non-nil,
+// receives one logfmt-style line per request.
+func Middleware(reg *Registry, logger *log.Logger, routeOf func(*http.Request) string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		if routeOf != nil {
+			route = routeOf(r)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		if sw.status == 0 { // handler wrote nothing
+			sw.status = http.StatusOK
+		}
+		reg.Counter(fmt.Sprintf("http_requests_total{route=%q,code=\"%d\"}", route, sw.status)).Inc()
+		reg.Counter("http_response_bytes_total").Add(sw.bytes)
+		reg.Histogram(fmt.Sprintf("http_request_duration_seconds{route=%q}", route)).ObserveDuration(dur)
+		if logger != nil {
+			logger.Printf("method=%s path=%s route=%s status=%d bytes=%d dur=%s remote=%s",
+				r.Method, r.URL.RequestURI(), route, sw.status, sw.bytes,
+				dur.Round(time.Microsecond), r.RemoteAddr)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package obs is the serving-layer observability kit: lock-free counters
+// and gauges, fixed-bucket latency histograms, lazily-registered gauge
+// functions, and a registry that renders everything in the Prometheus
+// text exposition format. It exists so the interactive layout server (and
+// any later batch/sharded serving front end) can expose request rates,
+// cache behavior, and the per-phase core.Report breakdown without pulling
+// in external dependencies.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value (bytes in a cache, entries in a
+// map). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// defaultBuckets are the histogram upper bounds in seconds, spanning the
+// fast cache-hit path (~µs–ms) through a heavyweight cold zoom layout.
+var defaultBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram (cumulative buckets in
+// the Prometheus sense are produced at export time; observation is a
+// single atomic add into the owning bucket).
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// NewHistogram returns a histogram with the default latency buckets.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		bounds: defaultBuckets,
+		counts: make([]atomic.Int64, len(defaultBuckets)+1),
+	}
+}
+
+// Observe records a value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(seconds * 1e9))
+}
+
+// ObserveDuration records d.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNanos.Load()) / 1e9 }
+
+// Registry is a named collection of metrics. Series names may carry
+// Prometheus-style labels inline: `http_requests_total{route="/zoom.png"}`.
+// All accessors are get-or-create and safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() float64{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// new.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers f to be evaluated at scrape time and exported as a
+// gauge named name. Registering the same name again replaces f.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = f
+}
+
+// splitSeries separates `family{label="x"}` into the metric family name
+// and the raw label body (without braces; empty when unlabeled).
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// joinLabels merges a series' inline labels with an extra label pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	if extra == "" {
+		return labels
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), grouped by family with one # TYPE
+// line each, in sorted order so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	type series struct {
+		name string
+		line func(io.Writer, string) // receives the full series name
+		kind string
+	}
+	var all []series
+	for name, c := range r.counters {
+		all = append(all, series{name, func(w io.Writer, n string) {
+			fmt.Fprintf(w, "%s %d\n", n, c.Value())
+		}, "counter"})
+	}
+	for name, g := range r.gauges {
+		all = append(all, series{name, func(w io.Writer, n string) {
+			fmt.Fprintf(w, "%s %d\n", n, g.Value())
+		}, "gauge"})
+	}
+	for name, f := range r.funcs {
+		all = append(all, series{name, func(w io.Writer, n string) {
+			fmt.Fprintf(w, "%s %g\n", n, f())
+		}, "gauge"})
+	}
+	for name, h := range r.hists {
+		all = append(all, series{name, func(w io.Writer, n string) {
+			family, labels := splitSeries(n)
+			var cum int64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmt.Sprintf("%g", h.bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+					family, joinLabels(labels, fmt.Sprintf("le=%q", le)), cum)
+			}
+			if labels != "" {
+				labels = "{" + labels + "}"
+			}
+			fmt.Fprintf(w, "%s_sum%s %g\n", family, labels, h.Sum())
+			fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count())
+		}, "histogram"})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	typed := map[string]bool{}
+	for _, s := range all {
+		family, _ := splitSeries(s.name)
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, s.kind)
+		}
+		s.line(w, s.name)
+	}
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// text-format scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("count=%d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("gauge=%d, want 40", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.0007)                   // lands in the le=0.001 bucket
+	h.Observe(0.3)                      // le=0.5
+	h.ObserveDuration(20 * time.Second) // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count=%d, want 3", h.Count())
+	}
+	if s := h.Sum(); s < 20.2 || s > 20.4 {
+		t.Fatalf("sum=%g, want ~20.3", s)
+	}
+	if got := h.counts[len(h.counts)-1].Load(); got != 1 {
+		t.Fatalf("+Inf bucket=%d, want 1", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name must return the same gauge")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name must return the same histogram")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`reqs_total{route="/a"}`).Add(3)
+	r.Counter(`reqs_total{route="/b"}`).Inc()
+	r.Gauge("cache_bytes").Set(123)
+	r.GaugeFunc("phase_seconds", func() float64 { return 1.5 })
+	r.Histogram(`lat_seconds{route="/a"}`).Observe(0.002)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{route="/a"} 3`,
+		`reqs_total{route="/b"} 1`,
+		"# TYPE cache_bytes gauge",
+		"cache_bytes 123",
+		"phase_seconds 1.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{route="/a",le="0.0025"} 1`,
+		`lat_seconds_bucket{route="/a",le="+Inf"} 1`,
+		`lat_seconds_sum{route="/a"} 0.002`,
+		`lat_seconds_count{route="/a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The family TYPE line must appear exactly once despite two series.
+	if strings.Count(out, "# TYPE reqs_total counter") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+	// Cumulative buckets: le=0.0025 upward all report the observation.
+	if !strings.Contains(out, `lat_seconds_bucket{route="/a",le="1"} 1`) {
+		t.Fatalf("buckets not cumulative:\n%s", out)
+	}
+	if strings.Contains(out, `le="0.001"} 1`) {
+		t.Fatalf("observation leaked into a lower bucket:\n%s", out)
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	r := NewRegistry()
+	var logged strings.Builder
+	logger := log.New(&logged, "", 0)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/missing" {
+			http.NotFound(w, req)
+			return
+		}
+		_, _ = w.Write([]byte("hello"))
+	})
+	routeOf := func(req *http.Request) string {
+		if req.URL.Path == "/ok" {
+			return "/ok"
+		}
+		return "other"
+	}
+	ts := httptest.NewServer(Middleware(r, logger, routeOf, inner))
+	defer ts.Close()
+
+	for _, p := range []string{"/ok", "/ok", "/missing"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := r.Counter(`http_requests_total{route="/ok",code="200"}`).Value(); got != 2 {
+		t.Fatalf("ok requests=%d, want 2", got)
+	}
+	if got := r.Counter(`http_requests_total{route="other",code="404"}`).Value(); got != 1 {
+		t.Fatalf("404 requests=%d, want 1", got)
+	}
+	if got := r.Histogram(`http_request_duration_seconds{route="/ok"}`).Count(); got != 2 {
+		t.Fatalf("latency observations=%d, want 2", got)
+	}
+	if r.Counter("http_response_bytes_total").Value() < 10 {
+		t.Fatal("response bytes not accounted")
+	}
+	lines := strings.Split(strings.TrimSpace(logged.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("access log has %d lines, want 3:\n%s", len(lines), logged.String())
+	}
+	if !strings.Contains(lines[0], "method=GET") || !strings.Contains(lines[0], "status=200") ||
+		!strings.Contains(lines[0], "route=/ok") {
+		t.Fatalf("unexpected access-log line: %s", lines[0])
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// byteLRU is a byte-budget LRU cache for rendered views. Zoom keys span
+// up to n × 100 (vertex × hops) distinct renders, so the cache must be
+// bounded or a crawler walking the key space OOMs the server; when the
+// budget is exceeded the least-recently-used entries are evicted. A
+// maxBytes <= 0 disables the bound (callers are expected to apply a sane
+// default first). Values are treated as immutable after Put.
+type byteLRU struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newByteLRU returns a cache with the given byte budget. The counters
+// must be non-nil (pass fresh obs.Counter values when not exporting).
+func newByteLRU(maxBytes int64, hits, misses, evictions *obs.Counter) *byteLRU {
+	return &byteLRU{
+		max:       maxBytes,
+		ll:        list.New(),
+		items:     map[string]*list.Element{},
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
+	}
+}
+
+// Get returns the cached value for key and marks it most-recently-used.
+func (c *byteLRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits.Inc()
+	return e.Value.(*lruEntry).val, true
+}
+
+// Put inserts or replaces key and evicts LRU entries until the cache fits
+// the budget again. A value larger than the whole budget is not cached at
+// all (it would only evict everything else for a single entry).
+func (c *byteLRU) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && int64(len(val)) > c.max {
+		if e, ok := c.items[key]; ok {
+			c.remove(e)
+		}
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*lruEntry)
+		c.size += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.max > 0 && c.size > c.max {
+		back := c.ll.Back()
+		if back == nil || back.Value.(*lruEntry).key == key {
+			break // never evict the entry just inserted
+		}
+		c.remove(back)
+		c.evictions.Inc()
+	}
+}
+
+// remove deletes e from the cache. Caller holds c.mu.
+func (c *byteLRU) remove(e *list.Element) {
+	ent := e.Value.(*lruEntry)
+	c.ll.Remove(e)
+	delete(c.items, ent.key)
+	c.size -= int64(len(ent.val))
+}
+
+// Bytes returns the cached payload size.
+func (c *byteLRU) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Len returns the number of cached entries.
+func (c *byteLRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// getQuiet is Get without hit/miss accounting, for the singleflight
+// double-check (the caller's original Get already counted the miss).
+func (c *byteLRU) getQuiet(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// Contains reports whether key is cached without touching recency or the
+// hit/miss counters (used by tests).
+func (c *byteLRU) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}

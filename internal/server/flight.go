@@ -1,0 +1,74 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// errFlightAborted is what waiters observe when the executing caller
+// panicked before producing a result.
+var errFlightAborted = errors.New("server: in-flight render aborted")
+
+// flightGroup deduplicates concurrent work by key (a minimal stdlib-only
+// singleflight): while a render for key is in flight, later callers block
+// on it and share its result instead of redoing the work. This is the fix
+// for the thundering-herd race where N concurrent requests for the same
+// uncached view each ran a full core.Zoom layout and render.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	joined int // waiters sharing this call; guarded by flightGroup.mu
+	val    []byte
+	err    error
+}
+
+// joiners reports how many callers are currently sharing the in-flight
+// call for key (0 when nothing is in flight). Used by tests to sequence
+// deterministically against the flight lifecycle.
+func (g *flightGroup) joiners(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.joined
+	}
+	return 0
+}
+
+// Do runs fn once per key among concurrent callers; every caller gets the
+// same result. shared reports whether this caller joined an existing
+// flight rather than running fn itself.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.joined++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	completed := false
+	defer func() {
+		// Release waiters even if fn panics; the panic propagates to this
+		// caller (and net/http's recovery) while waiters get an error.
+		if !completed {
+			c.err = errFlightAborted
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, false, c.err
+}

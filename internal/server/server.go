@@ -3,42 +3,169 @@
 // visualization". It serves the global layout of a graph and renders
 // zoomed k-hop neighborhood layouts on demand — feasible interactively
 // because ParHDE lays out million-edge graphs in real time.
+//
+// The serving layer is built for sustained traffic: every rendered view
+// goes through a singleflight + byte-budget LRU cache shared by the PNG,
+// SVG, and zoom handlers; expensive core.Zoom layouts run under a
+// concurrency limit; and an internal/obs registry exports request
+// counters, latency histograms, cache behavior, and the per-phase
+// core.Report breakdown on /metrics.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
-	"sync"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/render"
 )
+
+// DefaultCacheBytes is the render-cache budget when Config.CacheBytes is
+// zero: enough for a few hundred typical 700-px renders without letting a
+// key-space crawl grow the heap unboundedly.
+const DefaultCacheBytes int64 = 64 << 20
+
+// Config tunes the serving layer. The zero value gets sane defaults.
+type Config struct {
+	// CacheBytes is the render-cache budget. 0 means DefaultCacheBytes;
+	// negative disables the bound (not recommended for public traffic).
+	CacheBytes int64
+	// MaxConcurrentRenders caps concurrently executing expensive renders
+	// (distinct cache keys; same-key requests are deduplicated before the
+	// limit applies). 0 means GOMAXPROCS.
+	MaxConcurrentRenders int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one structured line per request.
+	AccessLog *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.MaxConcurrentRenders <= 0 {
+		c.MaxConcurrentRenders = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
 
 // Server holds one laid-out graph and renders views of it.
 type Server struct {
 	g      *graph.CSR
 	layout *core.Layout
+	report *core.Report
 	opt    core.Options
+	cfg    Config
 
-	mu    sync.Mutex
-	cache map[string][]byte // rendered PNGs by query signature
+	cache  *byteLRU
+	flight flightGroup
+	sem    chan struct{} // expensive-render concurrency limit
+
+	reg          *obs.Registry
+	zoomRenders  *obs.Counter // core.Zoom layouts actually executed
+	viewRenders  *obs.Counter // all renders actually executed (any kind)
+	renderErrors *obs.Counter
+
+	ready atomic.Bool
+	stats []byte // /stats body, computed once (the layout is immutable)
 }
 
 // New computes the global layout of g and returns a ready-to-serve
-// Server.
+// Server with the default Config.
 func New(g *graph.CSR, opt core.Options) (*Server, error) {
-	layout, _, err := core.ParHDE(g, opt)
+	return NewWithConfig(g, opt, Config{})
+}
+
+// NewWithConfig computes the global layout of g and returns a
+// ready-to-serve Server. The layout-quality sweep for /stats runs once
+// here rather than per request (core.Evaluate is O(m)).
+func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	layout, rep, err := core.ParHDE(g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{g: g, layout: layout, opt: opt, cache: map[string][]byte{}}, nil
+	reg := obs.NewRegistry()
+	s := &Server{
+		g:      g,
+		layout: layout,
+		report: rep,
+		opt:    opt,
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxConcurrentRenders),
+		reg:    reg,
+		cache: newByteLRU(cfg.CacheBytes,
+			reg.Counter("render_cache_hits_total"),
+			reg.Counter("render_cache_misses_total"),
+			reg.Counter("render_cache_evictions_total")),
+		zoomRenders:  reg.Counter("zoom_layouts_total"),
+		viewRenders:  reg.Counter("view_renders_total"),
+		renderErrors: reg.Counter("render_errors_total"),
+	}
+	reg.GaugeFunc("render_cache_bytes", func() float64 { return float64(s.cache.Bytes()) })
+	reg.GaugeFunc("render_cache_entries", func() float64 { return float64(s.cache.Len()) })
+	for _, p := range rep.Breakdown.Phases() {
+		d := p.D
+		reg.GaugeFunc(fmt.Sprintf("parhde_phase_seconds{phase=%q}", p.Name),
+			func() float64 { return d.Seconds() })
+	}
+
+	q := core.Evaluate(g, layout)
+	stats, err := json.Marshal(map[string]interface{}{
+		"vertices":       g.NumV,
+		"edges":          g.NumEdges(),
+		"maxDegree":      g.MaxDegree(),
+		"hallRatio":      q.HallRatio,
+		"meanEdgeLength": q.MeanEdgeLength,
+		"edgeLengthCV":   q.EdgeLengthCV,
+		"layoutSeconds":  rep.Breakdown.Total.Seconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.stats = append(stats, '\n')
+	s.ready.Store(true)
+	return s, nil
 }
 
-// Handler returns the HTTP mux: / (page), /layout.png, /zoom.png, /stats.
+// Report returns the layout run's per-phase report.
+func (s *Server) Report() *core.Report { return s.report }
+
+// Metrics returns the server's metric registry (also served on /metrics).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// routes are the label values the access-log middleware may emit; every
+// other path collapses into "other" to bound metric cardinality.
+var routes = map[string]bool{
+	"/": true, "/layout.png": true, "/layout.svg": true, "/zoom.png": true,
+	"/stats": true, "/healthz": true, "/metrics": true,
+}
+
+func routeOf(r *http.Request) string {
+	if routes[r.URL.Path] {
+		return r.URL.Path
+	}
+	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+		return "/debug/pprof/"
+	}
+	return "other"
+}
+
+// Handler returns the instrumented HTTP mux: / (page), /layout.png,
+// /layout.svg, /zoom.png, /stats, /healthz, /metrics, and (when enabled)
+// /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -46,7 +173,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/layout.svg", s.handleLayoutSVG)
 	mux.HandleFunc("/zoom.png", s.handleZoom)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return obs.Middleware(s.reg, s.cfg.AccessLog, routeOf, mux)
 }
 
 var page = template.Must(template.New("index").Parse(`<!doctype html>
@@ -84,8 +220,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
-	png, err := s.renderCached("global", func() (*graph.CSR, *core.Layout, error) {
-		return s.g, s.layout, nil
+	png, err := s.renderCached("global.png", func() ([]byte, error) {
+		return encodePNG(s.g, s.layout)
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -96,19 +232,16 @@ func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLayoutSVG(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	svg, ok := s.cache["global.svg"]
-	s.mu.Unlock()
-	if !ok {
-		var buf writerBuffer
+	svg, err := s.renderCached("global.svg", func() ([]byte, error) {
+		var buf bytes.Buffer
 		if err := render.DrawSVG(&buf, s.g, s.layout, render.Options{Size: 700}); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			return nil, err
 		}
-		s.mu.Lock()
-		s.cache["global.svg"] = buf.b
-		s.mu.Unlock()
-		svg = buf.b
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	_, _ = w.Write(svg)
@@ -121,12 +254,13 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("zoom:%d:%d", v, hops)
-	png, err := s.renderCached(key, func() (*graph.CSR, *core.Layout, error) {
+	png, err := s.renderCached(key, func() ([]byte, error) {
+		s.zoomRenders.Inc()
 		z, err := core.Zoom(s.g, v, hops, s.opt)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		return z.Subgraph, z.Layout, nil
+		return encodePNG(z.Subgraph, z.Layout)
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -137,48 +271,56 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	q := core.Evaluate(s.g, s.layout)
-	stats := map[string]interface{}{
-		"vertices":       s.g.NumV,
-		"edges":          s.g.NumEdges(),
-		"maxDegree":      s.g.MaxDegree(),
-		"hallRatio":      q.HallRatio,
-		"meanEdgeLength": q.MeanEdgeLength,
-		"edgeLengthCV":   q.EdgeLengthCV,
-	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(stats); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	_, _ = w.Write(s.stats)
 }
 
-// renderCached renders a view once and caches the PNG bytes.
-func (s *Server) renderCached(key string, view func() (*graph.CSR, *core.Layout, error)) ([]byte, error) {
-	s.mu.Lock()
-	if png, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return png, nil
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "layout not ready", http.StatusServiceUnavailable)
+		return
 	}
-	s.mu.Unlock()
-	g, lay, err := view()
-	if err != nil {
-		return nil, err
-	}
-	var buf writerBuffer
-	if err := render.Draw(&buf, g, lay, render.Options{Size: 700}); err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.cache[key] = buf.b
-	s.mu.Unlock()
-	return buf.b, nil
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
 }
 
-type writerBuffer struct{ b []byte }
+// renderCached returns the cached bytes for key, or renders them exactly
+// once no matter how many requests race on a cold key: concurrent callers
+// join the in-flight render (singleflight) instead of each running the
+// full layout+encode, and distinct in-flight renders queue on the
+// concurrency limit so a burst of cold keys cannot fork an unbounded
+// number of core.Zoom layouts.
+func (s *Server) renderCached(key string, render func() ([]byte, error)) ([]byte, error) {
+	if b, ok := s.cache.Get(key); ok {
+		return b, nil
+	}
+	b, _, err := s.flight.Do(key, func() ([]byte, error) {
+		// Double-check: the previous flight for this key may have filled
+		// the cache between our Get miss and winning the flight slot.
+		if b, ok := s.cache.getQuiet(key); ok {
+			return b, nil
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.viewRenders.Inc()
+		b, err := render()
+		if err != nil {
+			s.renderErrors.Inc()
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	return b, err
+}
 
-func (w *writerBuffer) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
+// encodePNG renders a layout to PNG bytes at the standard viewer size.
+func encodePNG(g *graph.CSR, l *core.Layout) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := render.Draw(&buf, g, l, render.Options{Size: 700}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func parseZoomParams(r *http.Request, n int) (int32, int, bool) {

@@ -2,25 +2,34 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"image/png"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 )
 
-func newTestServer(t *testing.T) *httptest.Server {
+func newTestServerPair(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	g := gen.PlateWithHoles(30, 30)
-	s, err := New(g, core.Options{Subspace: 10, Seed: 1})
+	s, err := NewWithConfig(g, core.Options{Subspace: 10, Seed: 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	_, ts := newTestServerPair(t, Config{})
 	return ts
 }
 
@@ -34,16 +43,11 @@ func TestIndexPage(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var sb strings.Builder
-	buf := make([]byte, 4096)
-	for {
-		n, err := resp.Body.Read(buf)
-		sb.Write(buf[:n])
-		if err != nil {
-			break
-		}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	body := sb.String()
+	body := string(b)
 	if !strings.Contains(body, "ParHDE layout") || !strings.Contains(body, "/layout.png") {
 		t.Fatalf("unexpected page: %.200s", body)
 	}
@@ -108,11 +112,11 @@ func TestZoomCaching(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
-	s.mu.Lock()
-	_, cached := s.cache["zoom:10:4"]
-	s.mu.Unlock()
-	if !cached {
+	if !s.cache.Contains("zoom:10:4") {
 		t.Fatal("zoom render not cached")
+	}
+	if got := s.zoomRenders.Value(); got != 1 {
+		t.Fatalf("zoom layouts = %d, want 1 (second request must hit the cache)", got)
 	}
 }
 
@@ -127,7 +131,7 @@ func TestStatsJSON(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"vertices", "edges", "hallRatio"} {
+	for _, key := range []string{"vertices", "edges", "hallRatio", "layoutSeconds"} {
 		if _, ok := stats[key]; !ok {
 			t.Fatalf("stats missing %q: %v", key, stats)
 		}
@@ -162,5 +166,192 @@ func TestLayoutSVG(t *testing.T) {
 		if !strings.HasPrefix(string(buf[:n]), "<svg") {
 			t.Fatalf("not svg: %q", string(buf[:n]))
 		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d, want 200", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "ok\n" {
+		t.Fatalf("healthz body %q", b)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Generate some traffic first so counters exist. Drain each body to
+	// EOF: that orders the middleware's post-handler accounting before
+	// the /metrics scrape below.
+	for _, p := range []string{"/layout.png", "/zoom.png?v=5&hops=3", "/stats"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("path %s: status %d", p, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, want := range []string{
+		`http_requests_total{route="/zoom.png",code="200"} 1`,
+		`http_request_duration_seconds_bucket{route="/stats",le="+Inf"} 1`,
+		"render_cache_hits_total",
+		"render_cache_misses_total",
+		"render_cache_evictions_total",
+		"render_cache_bytes",
+		`parhde_phase_seconds{phase="bfs_traversal"}`,
+		`parhde_phase_seconds{phase="total"}`,
+		"zoom_layouts_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestSingleflightColdKey is the acceptance check for the thundering-herd
+// bug: 50 concurrent requests for the same uncached zoom key must trigger
+// exactly one core.Zoom layout, with every request getting the same bytes.
+func TestSingleflightColdKey(t *testing.T) {
+	s, ts := newTestServerPair(t, Config{})
+	const clients = 50
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/zoom.png?v=200&hops=6")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	if got := s.zoomRenders.Value(); got != 1 {
+		t.Fatalf("cold key rendered %d times across %d concurrent requests, want exactly 1", got, clients)
+	}
+	for i := 1; i < clients; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("request %d got different bytes than request 0", i)
+		}
+	}
+}
+
+// TestConcurrentMixedTraffic hammers the full route set from ≥50
+// goroutines (run under -race in CI) and checks the cache stays within
+// its byte budget and per-key renders stay deduplicated.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	const budget = int64(1 << 20)
+	s, ts := newTestServerPair(t, Config{CacheBytes: budget})
+	paths := []string{
+		"/zoom.png?v=10&hops=3", "/zoom.png?v=20&hops=3", "/zoom.png?v=30&hops=4",
+		"/layout.svg", "/layout.png", "/stats", "/", "/healthz", "/metrics",
+	}
+	const clients = 60
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				resp, err := http.Get(ts.URL + paths[(i+j)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("path %s: status %d", paths[(i+j)%len(paths)], resp.StatusCode)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.cache.Bytes(); got > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", got, budget)
+	}
+	// Three zoom keys were requested many times each: exactly three layouts.
+	if got := s.zoomRenders.Value(); got != 3 {
+		t.Fatalf("zoom layouts = %d, want 3 (one per distinct key)", got)
+	}
+	if got := s.renderErrors.Value(); got != 0 {
+		t.Fatalf("render errors = %d", got)
+	}
+}
+
+// TestCacheEvictionUnderPressure walks many distinct zoom keys with a
+// tiny budget: the cache must stay bounded and evict.
+func TestCacheEvictionUnderPressure(t *testing.T) {
+	const budget = int64(64 << 10)
+	s, ts := newTestServerPair(t, Config{CacheBytes: budget})
+	var total int64
+	const keys = 24
+	for v := 0; v < keys; v++ {
+		resp, err := http.Get(fmt.Sprintf("%s/zoom.png?v=%d&hops=2", ts.URL, v*30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("v=%d: status %d", v*30, resp.StatusCode)
+		}
+		total += int64(len(b))
+	}
+	if got := s.cache.Bytes(); got > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", got, budget)
+	}
+	if total > budget {
+		ev := s.reg.Counter("render_cache_evictions_total").Value()
+		if ev == 0 {
+			t.Fatalf("rendered %d bytes against a %d budget but evicted nothing (cache len %d)",
+				total, budget, s.cache.Len())
+		}
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServerPair(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+	_, on := newTestServerPair(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof enabled: status %d, want 200", resp.StatusCode)
 	}
 }

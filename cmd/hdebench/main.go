@@ -20,6 +20,8 @@ func main() {
 		s       = flag.Int("s", 10, "subspace dimension where not pinned by the experiment")
 		outDir  = flag.String("out", "", "directory for PNG drawings (fig1/7/8)")
 		threads = flag.Int("threads", 0, "max GOMAXPROCS for sweeps (0 = all cores)")
+		benchJS = flag.String("bench-json", "",
+			"run the standard ParHDE perf suite and write a machine-readable BENCH_<date>.json to this directory")
 	)
 	flag.Parse()
 	if *list {
@@ -29,7 +31,7 @@ func main() {
 		}
 		return
 	}
-	if *name == "" {
+	if *name == "" && *benchJS == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -40,8 +42,23 @@ func main() {
 		OutDir:     *outDir,
 		MaxThreads: *threads,
 	}
-	if err := exp.Run(*name, os.Stdout, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "hdebench:", err)
-		os.Exit(1)
+	if *name != "" {
+		if err := exp.Run(*name, os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "hdebench:", err)
+			os.Exit(1)
+		}
+	}
+	if *benchJS != "" {
+		rep, err := exp.Bench(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdebench:", err)
+			os.Exit(1)
+		}
+		path, err := exp.WriteBenchJSON(*benchJS, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d graphs)\n", path, len(rep.Entries))
 	}
 }

@@ -1,12 +1,18 @@
 // Command hdeserve runs the §4.5.2 browser-based interactive layout
-// viewer: it lays out a graph with ParHDE once, then serves the global
-// drawing plus on-demand zoomed neighborhood layouts over HTTP.
+// viewer: it lays out a startup graph with ParHDE, then serves renders
+// of it — plus a whole catalog of further graphs — over HTTP.
+//
+// Beyond the single-graph viewer endpoints, the server exposes a REST
+// API for production-style use: POST /graphs uploads more graphs into a
+// byte-budgeted catalog, and POST /jobs runs layouts asynchronously on a
+// bounded worker pool with cancellation (DELETE /jobs/{id}) and
+// per-phase progress (GET /jobs/{id}). See the README for curl examples.
 //
 // The HTTP server is hardened for real traffic: read/write/idle
 // timeouts (so slow clients cannot pin connections), a byte-budget
 // render cache, Prometheus-style /metrics plus /healthz, optional
 // /debug/pprof/, and graceful shutdown on SIGINT/SIGTERM that drains
-// in-flight requests.
+// in-flight requests and stops the job workers.
 //
 // Usage:
 //
@@ -15,10 +21,8 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -47,6 +51,19 @@ func main() {
 		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
 		quiet   = flag.Bool("quiet", false, "disable the per-request access log")
 
+		workers = flag.Int("workers", 0,
+			"layout job worker pool size (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 0,
+			"bounded job queue depth; further submissions get HTTP 429 (0 = default)")
+		jobsTTL = flag.Duration("jobs-ttl", 0,
+			"how long finished jobs stay queryable (0 = default, negative = forever)")
+		dataDir = flag.String("data-dir", "",
+			"directory to persist completed job results (empty = off)")
+		catalogBytes = flag.Int64("catalog-bytes", 0,
+			"graph catalog byte budget; LRU-evicts unpinned graphs (0 = default, negative = unbounded)")
+		maxUpload = flag.Int64("max-upload", 0,
+			"per-request graph upload size cap in bytes (0 = default)")
+
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
@@ -64,23 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		switch *format {
-		case "bin":
-			g, err = graph.ReadBinary(bufio.NewReader(f))
-		case "edges", "mtx":
-			var n int
-			var edges []graph.Edge
-			if *format == "edges" {
-				n, edges, err = graph.ReadEdgeList(bufio.NewReader(f))
-			} else {
-				n, edges, err = graph.ReadMatrixMarket(bufio.NewReader(f))
-			}
-			if err == nil {
-				g, err = graph.FromEdges(n, edges, graph.BuildOptions{})
-			}
-		default:
-			err = fmt.Errorf("unknown format %q", *format)
-		}
+		g, err = graph.Read(f, *format, graph.BuildOptions{})
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -94,6 +95,12 @@ func main() {
 		CacheBytes:           *cacheBytes,
 		MaxConcurrentRenders: *maxRenders,
 		EnablePprof:          *pprofOn,
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		JobsTTL:              *jobsTTL,
+		DataDir:              *dataDir,
+		CatalogBytes:         *catalogBytes,
+		MaxUploadBytes:       *maxUpload,
 	}
 	if !*quiet {
 		cfg.AccessLog = log.New(os.Stderr, "access ", log.LstdFlags)
@@ -131,5 +138,6 @@ func main() {
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		srv.Close() // cancel queued/running layout jobs, stop the workers
 	}
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+func TestParHDECtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ParHDECtx(ctx, gen.Grid2D(10, 10), Options{Subspace: 8, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestParHDECtxCancelDuringCoupledBFS cancels a deliberately slow coupled
+// run (large grid, many pivots) the moment the BFS phase starts: the
+// per-pivot ctx check inside coupledPhase must abandon the remaining
+// traversals in well under the time the full phase would take.
+func TestParHDECtxCancelDuringCoupledBFS(t *testing.T) {
+	g := gen.Grid2D(300, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx = WithPhaseNotify(ctx, func(phase string) {
+		if phase == "bfs" {
+			cancel()
+		}
+	})
+	start := time.Now()
+	layout, _, err := ParHDECtx(ctx, g, Options{Subspace: 100, Seed: 1, Coupled: true})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if layout != nil {
+		t.Fatal("cancelled run returned a layout")
+	}
+	// 100 traversals of a 90k-vertex grid take seconds; stopping at the
+	// next pivot boundary must be orders of magnitude quicker.
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation honored only after %v", elapsed)
+	}
+}
+
+func TestWithPhaseNotifyObservesPhaseOrder(t *testing.T) {
+	var phases []string
+	ctx := WithPhaseNotify(context.Background(), func(phase string) {
+		phases = append(phases, phase)
+	})
+	if _, _, err := ParHDECtx(ctx, gen.Grid2D(12, 12), Options{Subspace: 8, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bfs", "dortho", "tripleprod", "eigensolve", "project"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phase[%d] = %q, want %q (all: %v)", i, phases[i], want[i], phases)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+import "context"
+
+// phaseNotifyKey carries an optional per-phase progress observer through a
+// context. The layout engines call the observer at the start of each major
+// phase, which is how the async job engine reports "where is this run now"
+// without the core packages depending on it.
+type phaseNotifyKey struct{}
+
+// WithPhaseNotify returns a context that delivers phase-transition
+// notifications to f. The engines call f synchronously from the layout
+// goroutine at each phase boundary, so f must be cheap and must not block
+// (store-an-atomic cheap; it is on the layout's critical path).
+func WithPhaseNotify(ctx context.Context, f func(phase string)) context.Context {
+	return context.WithValue(ctx, phaseNotifyKey{}, f)
+}
+
+// NotifyPhase reports entering the named phase to the observer installed
+// with WithPhaseNotify, if any. Exported so the pipeline package can
+// report its post-processing phases (refine, stress, quality) through the
+// same channel.
+func NotifyPhase(ctx context.Context, phase string) {
+	if f, ok := ctx.Value(phaseNotifyKey{}).(func(string)); ok {
+		f(phase)
+	}
+}

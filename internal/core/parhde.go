@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,6 +34,17 @@ type Report struct {
 // of the distance vectors, the fused triple product SᵀLS, a small
 // eigensolve, and the subspace projection.
 func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
+	return ParHDECtx(context.Background(), g, opt)
+}
+
+// ParHDECtx is ParHDE with cooperative cancellation: ctx is checked at
+// every phase boundary (BFS → DOrtho → TripleProd → eigensolve →
+// projection) and, in coupled mode, between every pivot traversal of the
+// BFS loop, so a cancelled run stops within one traversal rather than
+// after a phase completes. On cancellation the returned error satisfies
+// errors.Is(err, ctx.Err()). Phase transitions are reported to any
+// observer installed with WithPhaseNotify.
+func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report, error) {
 	opt = opt.withDefaults()
 	if g.NumV < 2 {
 		return nil, nil, fmt.Errorf("core: graph has %d vertices, need at least 2", g.NumV)
@@ -61,6 +73,10 @@ func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
 		onTrav := func(f func()) { timed(&bd.BFSTraversal, f) }
 		onOther := func(f func()) { timed(&bd.BFSOther, f) }
 
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		NotifyPhase(ctx, "bfs")
 		if opt.Coupled {
 			// --- Coupled BFS + DOrtho: each distance vector is consumed by
 			// incremental MGS as soon as its traversal finishes; the O(sn)
@@ -69,7 +85,7 @@ func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
 				deg = g.WeightedDegrees()
 			}
 			var res ortho.Result
-			res, err = coupledPhase(g, s, start, deg, opt, rep, bd)
+			res, err = coupledPhase(ctx, g, s, start, deg, opt, rep, bd)
 			if err != nil {
 				return
 			}
@@ -103,6 +119,10 @@ func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
 			}
 
 			// --- DOrtho phase ----------------------------------------------
+			if err = ctx.Err(); err != nil {
+				return
+			}
+			NotifyPhase(ctx, "dortho")
 			timed(&bd.DOrtho, func() {
 				var d []float64
 				if !opt.PlainOrtho {
@@ -130,6 +150,10 @@ func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
 		}
 
 		// --- TripleProd phase --------------------------------------------
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		NotifyPhase(ctx, "tripleprod")
 		var p *linalg.Dense
 		timed(&bd.LS, func() {
 			if opt.LS == LSTiled {
@@ -142,6 +166,10 @@ func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
 		timed(&bd.Gemm, func() { z = linalg.AtB(sMat, p) })
 
 		// --- Eigensolve ---------------------------------------------------
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		NotifyPhase(ctx, "eigensolve")
 		var axes *linalg.Dense
 		timed(&bd.Eigensolve, func() {
 			axes, rep.Eigenvalues, err = projectedAxes(z, dNorms, opt.Dims)
@@ -151,6 +179,10 @@ func ParHDE(g *graph.CSR, opt Options) (*Layout, *Report, error) {
 		}
 
 		// --- Projection [x, y] = S·Y --------------------------------------
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		NotifyPhase(ctx, "project")
 		timed(&bd.Project, func() {
 			layout = &Layout{Coords: linalg.MulSmall(sMat, axes)}
 		})
@@ -207,8 +239,11 @@ func splitmix(seed uint64) uint64 {
 // coupledPhase runs the k-centers BFS loop with incremental MGS: the same
 // traversals and source selection as the decoupled path (so pivots and
 // layout are bitwise identical) with each distance vector orthogonalized
-// immediately after its BFS and then discarded.
-func coupledPhase(g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown) (ortho.Result, error) {
+// immediately after its BFS and then discarded. ctx is checked before
+// every pivot traversal, so cancelling a long run (s up to 50 traversals
+// over a million-vertex graph) takes effect within one BFS — milliseconds
+// — rather than after the whole phase.
+func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown) (ortho.Result, error) {
 	n := g.NumV
 	runner := bfs.NewRunner(g, opt.BFS)
 	dist := make([]int32, n)
@@ -219,6 +254,9 @@ func coupledPhase(g *graph.CSR, s int, start int32, deg []float64, opt Options, 
 
 	src := start
 	for i := 0; i < s; i++ {
+		if err := ctx.Err(); err != nil {
+			return ortho.Result{}, err
+		}
 		rep.Sources = append(rep.Sources, src)
 		var ts bfs.Stats
 		timed(&bd.BFSTraversal, func() { ts = runner.Distances(src, dist) })

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchEntry is one graph's timing in a standard benchmark pass.
+type BenchEntry struct {
+	Graph     string             `json:"graph"`
+	Analogue  string             `json:"analogue"`
+	Vertices  int                `json:"vertices"`
+	Edges     int64              `json:"edges"`
+	Algorithm string             `json:"algorithm"`
+	Seconds   float64            `json:"seconds"` // minimum over Reps runs
+	Phases    map[string]float64 `json:"phases"`  // per-phase split of the fastest run
+}
+
+// BenchReport is the machine-readable benchmark record hdebench emits as
+// BENCH_<date>.json, so the perf trajectory across PRs can be charted
+// instead of eyeballed from table text.
+type BenchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"goVersion"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Factor     int          `json:"factor"`
+	Reps       int          `json:"reps"`
+	Subspace   int          `json:"subspace"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// Bench runs the standard perf-trajectory suite: ParHDE over the small
+// graph collection at cfg.Factor, keeping the fastest of cfg.Reps runs
+// per graph and its per-phase breakdown.
+func Bench(cfg Config) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &BenchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Factor:     cfg.Factor,
+		Reps:       cfg.Reps,
+		Subspace:   cfg.Subspace,
+	}
+	for _, ng := range SmallCollection(cfg.Factor) {
+		opt := core.Options{Subspace: cfg.Subspace, Seed: 1, SkipConnectivityCheck: true}
+		var best *core.Report
+		for r := 0; r < cfg.Reps; r++ {
+			_, res, err := core.ParHDE(ng.G, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", ng.Name, err)
+			}
+			if best == nil || res.Breakdown.Total < best.Breakdown.Total {
+				best = res
+			}
+		}
+		phases := map[string]float64{}
+		for _, p := range best.Breakdown.Phases() {
+			phases[p.Name] = p.D.Seconds()
+		}
+		rep.Entries = append(rep.Entries, BenchEntry{
+			Graph:     ng.Name,
+			Analogue:  ng.Analogue,
+			Vertices:  ng.G.NumV,
+			Edges:     ng.G.NumEdges(),
+			Algorithm: "parhde",
+			Seconds:   best.Breakdown.Total.Seconds(),
+			Phases:    phases,
+		})
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON writes rep to dir/BENCH_<date>.json and returns the
+// path. The write is atomic (tmp + rename) so a crashed run never leaves
+// a truncated record behind.
+func WriteBenchJSON(dir string, rep *BenchReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+rep.Date+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -79,6 +80,14 @@ type Result struct {
 
 // Run lays out g according to cfg.
 func Run(g *graph.CSR, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), g, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation. The ParHDE path checks ctx
+// at every phase boundary (and inside the coupled BFS pivot loop); the
+// other algorithms and the post-processing steps check it between stages.
+// On cancellation the returned error satisfies errors.Is(err, ctx.Err()).
+func RunCtx(ctx context.Context, g *graph.CSR, cfg Config) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 	var err error
@@ -95,15 +104,23 @@ func Run(g *graph.CSR, cfg Config) (*Result, error) {
 	case Prior:
 		res.Layout, res.Report, err = core.Prior(g, cfg.Layout)
 	default:
-		res.Layout, res.Report, err = core.ParHDE(g, cfg.Layout)
+		res.Layout, res.Report, err = core.ParHDECtx(ctx, g, cfg.Layout)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: %w", cfg.Algorithm, err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", cfg.Algorithm, err)
+	}
 	if cfg.RefineSweeps > 0 {
+		core.NotifyPhase(ctx, "refine")
 		core.Refine(g, res.Layout, cfg.RefineSweeps, 1e-9)
 	}
 	if cfg.StressPolish != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", cfg.Algorithm, err)
+		}
+		core.NotifyPhase(ctx, "stress")
 		sres, err := stress.Sparse(g, res.Layout, *cfg.StressPolish)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stress polish: %w", err)
@@ -111,6 +128,10 @@ func Run(g *graph.CSR, cfg Config) (*Result, error) {
 		res.Stress = &sres
 	}
 	if !cfg.SkipQuality {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", cfg.Algorithm, err)
+		}
+		core.NotifyPhase(ctx, "quality")
 		res.Quality = core.Evaluate(g, res.Layout)
 	}
 	res.Elapsed = time.Since(start)

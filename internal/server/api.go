@@ -1,0 +1,251 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/catalog"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/pipeline"
+)
+
+// The catalog/jobs REST API. Error discipline (the point of the
+// status-code satellite): unknown graph or job ids are 404, malformed
+// bodies/options are 400, admission-control rejection is 429, name
+// collisions and pinned-graph deletes are 409, over-budget uploads are
+// 413, and only genuinely unexpected failures fall through to 500.
+
+// apiError is the JSON error envelope every non-2xx API response uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// codeFor maps the catalog/jobs sentinel errors onto HTTP status codes.
+func codeFor(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, jobs.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, catalog.ErrExists), errors.Is(err, catalog.ErrPinned):
+		return http.StatusConflict
+	case errors.Is(err, catalog.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, catalog.ErrBadName):
+		return http.StatusBadRequest
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- /graphs ------------------------------------------------------------
+
+func (s *Server) handleGraphsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"graphs": s.cat.List(),
+		"bytes":  s.cat.Bytes(),
+	})
+}
+
+// handleGraphUpload registers the request body as a named graph:
+// POST /graphs?name=web&format=edges[&weighted=1], body = graph file.
+func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing required query parameter: name"))
+		return
+	}
+	format := defaultStr(q.Get("format"), "edges")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	g, err := graph.Read(body, format, graph.BuildOptions{Weighted: q.Get("weighted") == "1"})
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds %d bytes", s.cfg.MaxUploadBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing %s upload: %w", format, err))
+		return
+	}
+	if err := s.cat.Add(name, g, "upload"); err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"name":     name,
+		"vertices": g.NumV,
+		"edges":    g.NumEdges(),
+		"bytes":    catalog.GraphBytes(g),
+		"weighted": g.Weighted(),
+	})
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.cat.Remove(name); err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.views, name)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- per-graph views ----------------------------------------------------
+
+// lookupView resolves {name} to an installed view, writing the right
+// error (404 unknown, 409 known-but-not-laid-out) when it cannot.
+func (s *Server) lookupView(w http.ResponseWriter, r *http.Request) (*view, bool) {
+	name := r.PathValue("name")
+	v, known, laidOut := s.viewOf(name)
+	switch {
+	case laidOut:
+		return v, true
+	case known:
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("graph %q has no layout yet; submit a job with POST /jobs", name))
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", name))
+	}
+	return nil, false
+}
+
+func (s *Server) handleGraphLayoutPNG(w http.ResponseWriter, r *http.Request) {
+	if v, ok := s.lookupView(w, r); ok {
+		s.servePNG(w, v)
+	}
+}
+
+func (s *Server) handleGraphLayoutSVG(w http.ResponseWriter, r *http.Request) {
+	if v, ok := s.lookupView(w, r); ok {
+		s.serveSVG(w, v)
+	}
+}
+
+func (s *Server) handleGraphZoom(w http.ResponseWriter, r *http.Request) {
+	if v, ok := s.lookupView(w, r); ok {
+		s.serveZoom(w, r, v)
+	}
+}
+
+func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	if v, ok := s.lookupView(w, r); ok {
+		s.serveStats(w, v)
+	}
+}
+
+// --- /jobs --------------------------------------------------------------
+
+// jobRequest is the POST /jobs body. Unknown fields are rejected so a
+// typoed option fails loudly (400) instead of running with defaults.
+type jobRequest struct {
+	Graph        string `json:"graph"`
+	Algorithm    string `json:"algorithm"`
+	Subspace     int    `json:"subspace"`
+	Dims         int    `json:"dims"`
+	Seed         uint64 `json:"seed"`
+	Coupled      bool   `json:"coupled"`
+	PlainOrtho   bool   `json:"plainOrtho"`
+	RefineSweeps int    `json:"refineSweeps"`
+	SkipQuality  bool   `json:"skipQuality"`
+}
+
+// parseAlgorithm maps the API spelling onto pipeline.Algorithm.
+func parseAlgorithm(name string) (pipeline.Algorithm, error) {
+	switch name {
+	case "", "parhde":
+		return pipeline.ParHDE, nil
+	case "phde":
+		return pipeline.PHDE, nil
+	case "pivotmds":
+		return pipeline.PivotMDS, nil
+	case "multilevel":
+		return pipeline.Multilevel, nil
+	case "prior":
+		return pipeline.Prior, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (have parhde, phde, pivotmds, multilevel, prior)", name)
+	}
+}
+
+// validateJobRequest bounds the numeric options so a hostile body cannot
+// request an absurd amount of work or trip internal panics.
+func validateJobRequest(req jobRequest) error {
+	switch {
+	case req.Graph == "":
+		return errors.New("missing required field: graph")
+	case req.Subspace < 0 || req.Subspace > 4096:
+		return fmt.Errorf("subspace %d out of range [0, 4096]", req.Subspace)
+	case req.Dims < 0 || req.Dims > 16:
+		return fmt.Errorf("dims %d out of range [0, 16]", req.Dims)
+	case req.RefineSweeps < 0 || req.RefineSweeps > 1_000_000:
+		return fmt.Errorf("refineSweeps %d out of range [0, 1000000]", req.RefineSweeps)
+	}
+	return nil
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed job request: %w", err))
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateJobRequest(req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.eng.Submit(req.Graph, submitConfig(alg, req))
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.eng.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.eng.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.eng.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}

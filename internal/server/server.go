@@ -1,15 +1,23 @@
 // Package server implements the §4.5.2 vision of ParHDE's zoom feature:
 // "this would be useful for future browser-based interactive graph
-// visualization". It serves the global layout of a graph and renders
-// zoomed k-hop neighborhood layouts on demand — feasible interactively
-// because ParHDE lays out million-edge graphs in real time.
+// visualization". It serves laid-out graphs and renders zoomed k-hop
+// neighborhood layouts on demand — feasible interactively because ParHDE
+// lays out million-edge graphs in real time.
 //
 // The serving layer is built for sustained traffic: every rendered view
-// goes through a singleflight + byte-budget LRU cache shared by the PNG,
-// SVG, and zoom handlers; expensive core.Zoom layouts run under a
-// concurrency limit; and an internal/obs registry exports request
-// counters, latency histograms, cache behavior, and the per-phase
-// core.Report breakdown on /metrics.
+// goes through a singleflight + byte-budget LRU cache, expensive
+// core.Zoom layouts run under a concurrency limit, and an internal/obs
+// registry exports request counters, latency histograms, and cache
+// behavior on /metrics.
+//
+// Since the async-jobs rework, one server instance fronts a whole
+// catalog of graphs instead of the single graph handed to New: graphs
+// are uploaded or loaded by name (internal/catalog), and layouts run as
+// queued, cancellable jobs on a bounded worker pool (internal/jobs)
+// rather than synchronously inside a request. A completed job installs
+// its layout as the graph's current view, which the per-graph render
+// endpoints then serve. The original single-graph startup mode is the
+// degenerate case: a catalog with one pinned entry named "default".
 package server
 
 import (
@@ -23,11 +31,16 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/render"
 )
 
@@ -35,6 +48,12 @@ import (
 // zero: enough for a few hundred typical 700-px renders without letting a
 // key-space crawl grow the heap unboundedly.
 const DefaultCacheBytes int64 = 64 << 20
+
+// DefaultMaxUploadBytes bounds one POST /graphs body.
+const DefaultMaxUploadBytes int64 = 256 << 20
+
+// DefaultGraph is the catalog name of the graph handed to New at startup.
+const DefaultGraph = "default"
 
 // Config tunes the serving layer. The zero value gets sane defaults.
 type Config struct {
@@ -49,6 +68,24 @@ type Config struct {
 	EnablePprof bool
 	// AccessLog, when non-nil, receives one structured line per request.
 	AccessLog *log.Logger
+
+	// CatalogBytes is the graph-catalog byte budget (0 = the catalog
+	// package default, negative = unbounded).
+	CatalogBytes int64
+	// MaxUploadBytes bounds one graph upload body (0 = DefaultMaxUploadBytes).
+	MaxUploadBytes int64
+	// Workers sizes the layout job worker pool (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; submissions beyond it get HTTP 429
+	// (0 = the jobs package default).
+	QueueDepth int
+	// JobsTTL is how long finished jobs stay queryable (0 = the jobs
+	// package default, negative = forever).
+	JobsTTL time.Duration
+	// MaxResults caps retained finished jobs (0 = the jobs package default).
+	MaxResults int
+	// DataDir, when non-empty, persists completed job results to disk.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -58,16 +95,41 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrentRenders <= 0 {
 		c.MaxConcurrentRenders = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = DefaultMaxUploadBytes
+	}
 	return c
 }
 
-// Server holds one laid-out graph and renders views of it.
-type Server struct {
+// view is one graph's current layout, immutable once installed; a new
+// layout for the same graph replaces the whole view under s.mu. gen
+// namespaces the render-cache keys so stale renders of a replaced layout
+// age out of the LRU instead of being served.
+type view struct {
+	name   string
+	gen    int
 	g      *graph.CSR
 	layout *core.Layout
-	report *core.Report
-	opt    core.Options
-	cfg    Config
+	report *core.Report // nil for algorithms without a phase report
+	opt    core.Options // zoom layouts reuse the view's layout options
+	stats  []byte       // per-graph /stats body, computed at install
+}
+
+// cacheKey namespaces a render kind under the view's graph + generation.
+func (v *view) cacheKey(kind string) string {
+	return fmt.Sprintf("g:%s:%d:%s", v.name, v.gen, kind)
+}
+
+// Server fronts a catalog of graphs: it renders installed layouts and
+// runs new ones as async jobs.
+type Server struct {
+	cfg Config
+	cat *catalog.Catalog
+	eng *jobs.Engine
+
+	mu    sync.RWMutex
+	views map[string]*view
+	gens  map[string]int
 
 	cache  *byteLRU
 	flight flightGroup
@@ -79,7 +141,6 @@ type Server struct {
 	renderErrors *obs.Counter
 
 	ready atomic.Bool
-	stats []byte // /stats body, computed once (the layout is immutable)
 }
 
 // New computes the global layout of g and returns a ready-to-serve
@@ -88,9 +149,10 @@ func New(g *graph.CSR, opt core.Options) (*Server, error) {
 	return NewWithConfig(g, opt, Config{})
 }
 
-// NewWithConfig computes the global layout of g and returns a
-// ready-to-serve Server. The layout-quality sweep for /stats runs once
-// here rather than per request (core.Evaluate is O(m)).
+// NewWithConfig computes the global layout of g, registers it as the
+// pinned catalog entry "default", and returns a ready-to-serve Server
+// with the job engine running. The layout-quality sweep for /stats runs
+// once here rather than per request (core.Evaluate is O(m)).
 func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	layout, rep, err := core.ParHDE(g, opt)
@@ -99,13 +161,12 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		g:      g,
-		layout: layout,
-		report: rep,
-		opt:    opt,
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.MaxConcurrentRenders),
-		reg:    reg,
+		cfg:   cfg,
+		cat:   catalog.New(cfg.CatalogBytes),
+		views: map[string]*view{},
+		gens:  map[string]int{},
+		sem:   make(chan struct{}, cfg.MaxConcurrentRenders),
+		reg:   reg,
 		cache: newByteLRU(cfg.CacheBytes,
 			reg.Counter("render_cache_hits_total"),
 			reg.Counter("render_cache_misses_total"),
@@ -116,56 +177,146 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 	}
 	reg.GaugeFunc("render_cache_bytes", func() float64 { return float64(s.cache.Bytes()) })
 	reg.GaugeFunc("render_cache_entries", func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("catalog_graphs", func() float64 { return float64(s.cat.Len()) })
+	reg.GaugeFunc("catalog_bytes", func() float64 { return float64(s.cat.Bytes()) })
 	for _, p := range rep.Breakdown.Phases() {
 		d := p.D
 		reg.GaugeFunc(fmt.Sprintf("parhde_phase_seconds{phase=%q}", p.Name),
 			func() float64 { return d.Seconds() })
 	}
 
-	q := core.Evaluate(g, layout)
+	if err := s.cat.AddPinned(DefaultGraph, g, "startup"); err != nil {
+		return nil, err
+	}
+	s.install(DefaultGraph, g, layout, rep, opt, core.Evaluate(g, layout), rep.Breakdown.Total)
+
+	s.eng = jobs.New(s.cat, jobs.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		ResultTTL:  cfg.JobsTTL,
+		MaxResults: cfg.MaxResults,
+		DataDir:    cfg.DataDir,
+		Metrics:    reg,
+		Logger:     cfg.AccessLog,
+		OnDone:     s.onJobDone,
+	})
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Close shuts down the job engine: pending and running jobs are
+// cancelled and the worker pool drains. The render endpoints keep
+// working on the installed views.
+func (s *Server) Close() { s.eng.Close() }
+
+// onJobDone installs a completed job's layout as its graph's current
+// view (runs on the worker goroutine).
+func (s *Server) onJobDone(j *jobs.Job) {
+	if j.State() != jobs.StateDone {
+		return
+	}
+	res := j.Result()
+	if res == nil || res.Layout == nil {
+		return
+	}
+	elapsed := res.Elapsed
+	if res.Report != nil {
+		elapsed = res.Report.Breakdown.Total
+	}
+	s.install(j.Graph(), j.Input(), res.Layout, res.Report, j.Config().Layout, res.Quality, elapsed)
+}
+
+// install makes (layout, report) the current view of the named graph and
+// precomputes its /stats body.
+func (s *Server) install(name string, g *graph.CSR, layout *core.Layout, rep *core.Report,
+	opt core.Options, q core.Quality, layoutTime time.Duration) {
 	stats, err := json.Marshal(map[string]interface{}{
+		"graph":          name,
 		"vertices":       g.NumV,
 		"edges":          g.NumEdges(),
 		"maxDegree":      g.MaxDegree(),
 		"hallRatio":      q.HallRatio,
 		"meanEdgeLength": q.MeanEdgeLength,
 		"edgeLengthCV":   q.EdgeLengthCV,
-		"layoutSeconds":  rep.Breakdown.Total.Seconds(),
+		"layoutSeconds":  layoutTime.Seconds(),
 	})
 	if err != nil {
-		return nil, err
+		stats = []byte("{}")
 	}
-	s.stats = append(stats, '\n')
-	s.ready.Store(true)
-	return s, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gens[name]++
+	s.views[name] = &view{
+		name:   name,
+		gen:    s.gens[name],
+		g:      g,
+		layout: layout,
+		report: rep,
+		opt:    opt,
+		stats:  append(stats, '\n'),
+	}
 }
 
-// Report returns the layout run's per-phase report.
-func (s *Server) Report() *core.Report { return s.report }
+// viewOf returns the named graph's current view. The boolean pair
+// distinguishes "graph unknown" (404) from "known but not laid out yet"
+// (409).
+func (s *Server) viewOf(name string) (v *view, known, laidOut bool) {
+	s.mu.RLock()
+	v, laidOut = s.views[name]
+	s.mu.RUnlock()
+	if laidOut {
+		return v, true, true
+	}
+	_, known = s.cat.Get(name)
+	return nil, known, false
+}
+
+// Report returns the startup layout run's per-phase report.
+func (s *Server) Report() *core.Report {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, ok := s.views[DefaultGraph]; ok {
+		return v.report
+	}
+	return nil
+}
 
 // Metrics returns the server's metric registry (also served on /metrics).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// Catalog returns the server's graph catalog.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// Jobs returns the server's layout job engine.
+func (s *Server) Jobs() *jobs.Engine { return s.eng }
+
 // routes are the label values the access-log middleware may emit; every
-// other path collapses into "other" to bound metric cardinality.
+// other path collapses into a prefix family or "other" to bound metric
+// cardinality.
 var routes = map[string]bool{
 	"/": true, "/layout.png": true, "/layout.svg": true, "/zoom.png": true,
 	"/stats": true, "/healthz": true, "/metrics": true,
+	"/graphs": true, "/jobs": true,
 }
 
 func routeOf(r *http.Request) string {
 	if routes[r.URL.Path] {
 		return r.URL.Path
 	}
-	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/debug/pprof/"):
 		return "/debug/pprof/"
+	case strings.HasPrefix(r.URL.Path, "/graphs/"):
+		return "/graphs/"
+	case strings.HasPrefix(r.URL.Path, "/jobs/"):
+		return "/jobs/"
 	}
 	return "other"
 }
 
-// Handler returns the instrumented HTTP mux: / (page), /layout.png,
-// /layout.svg, /zoom.png, /stats, /healthz, /metrics, and (when enabled)
-// /debug/pprof/.
+// Handler returns the instrumented HTTP mux: the single-graph viewer
+// endpoints (operating on the "default" graph), the catalog/jobs REST
+// API, /healthz, /metrics, and (when enabled) /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -175,6 +326,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.reg.Handler())
+
+	mux.HandleFunc("GET /graphs", s.handleGraphsList)
+	mux.HandleFunc("POST /graphs", s.handleGraphUpload)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleGraphDelete)
+	mux.HandleFunc("GET /graphs/{name}/layout.png", s.handleGraphLayoutPNG)
+	mux.HandleFunc("GET /graphs/{name}/layout.svg", s.handleGraphLayoutSVG)
+	mux.HandleFunc("GET /graphs/{name}/zoom.png", s.handleGraphZoom)
+	mux.HandleFunc("GET /graphs/{name}/stats", s.handleGraphStats)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobsList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -201,18 +365,27 @@ var page = template.Must(template.New("index").Parse(`<!doctype html>
 <img src="/layout.png" width="45%">
 </body></html>`))
 
+// defaultView returns the "default" graph's view (always present: it is
+// installed before the server starts serving).
+func (s *Server) defaultView() *view {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.views[DefaultGraph]
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
-	v, hops, ok := parseZoomParams(r, s.g.NumV)
+	v := s.defaultView()
+	vtx, hops, ok := parseZoomParams(r, v.g.NumV)
 	data := struct {
 		N, M     int64
 		V        int32
 		Hops     int
 		ShowZoom bool
-	}{int64(s.g.NumV), s.g.NumEdges(), v, hops, ok && r.URL.Query().Get("v") != ""}
+	}{int64(v.g.NumV), v.g.NumEdges(), vtx, hops, ok && r.URL.Query().Get("v") != ""}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := page.Execute(w, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -220,8 +393,25 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
-	png, err := s.renderCached("global.png", func() ([]byte, error) {
-		return encodePNG(s.g, s.layout)
+	s.servePNG(w, s.defaultView())
+}
+
+func (s *Server) handleLayoutSVG(w http.ResponseWriter, r *http.Request) {
+	s.serveSVG(w, s.defaultView())
+}
+
+func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
+	s.serveZoom(w, r, s.defaultView())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.serveStats(w, s.defaultView())
+}
+
+// servePNG renders (or serves the cached) global PNG of a view.
+func (s *Server) servePNG(w http.ResponseWriter, v *view) {
+	png, err := s.renderCached(v.cacheKey("global.png"), func() ([]byte, error) {
+		return encodePNG(v.g, v.layout)
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -231,10 +421,10 @@ func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(png)
 }
 
-func (s *Server) handleLayoutSVG(w http.ResponseWriter, r *http.Request) {
-	svg, err := s.renderCached("global.svg", func() ([]byte, error) {
+func (s *Server) serveSVG(w http.ResponseWriter, v *view) {
+	svg, err := s.renderCached(v.cacheKey("global.svg"), func() ([]byte, error) {
 		var buf bytes.Buffer
-		if err := render.DrawSVG(&buf, s.g, s.layout, render.Options{Size: 700}); err != nil {
+		if err := render.DrawSVG(&buf, v.g, v.layout, render.Options{Size: 700}); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil
@@ -247,16 +437,16 @@ func (s *Server) handleLayoutSVG(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(svg)
 }
 
-func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
-	v, hops, ok := parseZoomParams(r, s.g.NumV)
+func (s *Server) serveZoom(w http.ResponseWriter, r *http.Request, v *view) {
+	vtx, hops, ok := parseZoomParams(r, v.g.NumV)
 	if !ok {
 		http.Error(w, "bad v/hops parameters", http.StatusBadRequest)
 		return
 	}
-	key := fmt.Sprintf("zoom:%d:%d", v, hops)
+	key := v.cacheKey(fmt.Sprintf("zoom:%d:%d", vtx, hops))
 	png, err := s.renderCached(key, func() ([]byte, error) {
 		s.zoomRenders.Inc()
-		z, err := core.Zoom(s.g, v, hops, s.opt)
+		z, err := core.Zoom(v.g, vtx, hops, v.opt)
 		if err != nil {
 			return nil, err
 		}
@@ -270,9 +460,9 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(png)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveStats(w http.ResponseWriter, v *view) {
 	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(s.stats)
+	_, _ = w.Write(v.stats)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -338,4 +528,21 @@ func defaultStr(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// submitConfig converts an API job request into a pipeline.Config; kept
+// here (not api.go) so the option surface lives next to the view types.
+func submitConfig(alg pipeline.Algorithm, req jobRequest) pipeline.Config {
+	return pipeline.Config{
+		Algorithm: alg,
+		Layout: core.Options{
+			Subspace:   req.Subspace,
+			Dims:       req.Dims,
+			Seed:       req.Seed,
+			Coupled:    req.Coupled,
+			PlainOrtho: req.PlainOrtho,
+		},
+		RefineSweeps: req.RefineSweeps,
+		SkipQuality:  req.SkipQuality,
+	}
 }

@@ -22,6 +22,7 @@ func newTestServerPair(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -103,6 +104,7 @@ func TestZoomCaching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	for i := 0; i < 2; i++ {
@@ -112,7 +114,7 @@ func TestZoomCaching(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
-	if !s.cache.Contains("zoom:10:4") {
+	if !s.cache.Contains("g:default:1:zoom:10:4") {
 		t.Fatal("zoom render not cached")
 	}
 	if got := s.zoomRenders.Value(); got != 1 {

@@ -42,15 +42,21 @@ type Options struct {
 type Runner struct {
 	g       *graph.CSR
 	opt     Options
-	front   *Bitmap // current frontier (bottom-up)
-	next    *Bitmap // next frontier (bottom-up)
-	queue   []int32 // current frontier (top-down)
-	nextQ   [][]int32
+	sc      *Scratch
 	workers int
 }
 
-// NewRunner creates a Runner for g.
+// NewRunner creates a Runner for g with private scratch.
 func NewRunner(g *graph.CSR, opt Options) *Runner {
+	return NewRunnerScratch(g, opt, nil)
+}
+
+// NewRunnerScratch creates a Runner for g backed by sc, regrowing it if it
+// is too small for g (nil allocates private scratch). The caller may hand
+// the same Scratch to successive Runners over different graphs — the PR-2
+// job engine reuses one per worker — but must not share it between
+// concurrently live Runners.
+func NewRunnerScratch(g *graph.CSR, opt Options, sc *Scratch) *Runner {
 	if opt.Alpha <= 0 {
 		opt.Alpha = DefaultAlpha
 	}
@@ -58,15 +64,12 @@ func NewRunner(g *graph.CSR, opt Options) *Runner {
 		opt.Beta = DefaultBeta
 	}
 	w := parallel.Workers()
-	return &Runner{
-		g:       g,
-		opt:     opt,
-		front:   NewBitmap(g.NumV),
-		next:    NewBitmap(g.NumV),
-		queue:   make([]int32, 0, 1024),
-		nextQ:   make([][]int32, w),
-		workers: w,
+	if sc == nil {
+		sc = NewScratch(g.NumV, w)
+	} else {
+		sc.ensure(g.NumV, w)
 	}
+	return &Runner{g: g, opt: opt, sc: sc, workers: w}
 }
 
 // Distances runs a BFS from src, writing hop counts into dist (length
@@ -77,13 +80,19 @@ func NewRunner(g *graph.CSR, opt Options) *Runner {
 func (r *Runner) Distances(src int32, dist []int32) Stats {
 	g := r.g
 	n := g.NumV
-	parallel.For(n, func(i int) { dist[i] = Unreached })
+	if r.workers == 1 {
+		for i := range dist {
+			dist[i] = Unreached
+		}
+	} else {
+		parallel.For(n, func(i int) { dist[i] = Unreached })
+	}
 	dist[src] = 0
 
 	var st Stats
 	level := int32(0)
 	// frontier state: either queue (top-down) or bitmap (bottom-up)
-	r.queue = append(r.queue[:0], src)
+	r.sc.queue = append(r.sc.queue[:0], src)
 	bottomUp := false
 	frontierSize := int64(1)
 	frontierEdges := int64(g.Degree(src))
@@ -94,9 +103,15 @@ func (r *Runner) Distances(src int32, dist []int32) Stats {
 		if !r.opt.ForceTopDown {
 			if !bottomUp && frontierEdges > unexploredEdges/r.opt.Alpha {
 				// Switch: materialize the frontier bitmap from the queue.
-				r.front.Reset()
-				q := r.queue
-				parallel.For(len(q), func(i int) { r.front.Set(q[i]) })
+				r.sc.front.Reset()
+				q := r.sc.queue
+				if r.workers == 1 {
+					for _, v := range q {
+						r.sc.front.Set(v)
+					}
+				} else {
+					parallel.For(len(q), func(i int) { r.sc.front.Set(q[i]) })
+				}
 				bottomUp = true
 			} else if bottomUp && frontierSize < int64(n)/r.opt.Beta {
 				// Switch back: rebuild the queue from the bitmap.
@@ -125,15 +140,35 @@ func (r *Runner) Distances(src int32, dist []int32) Stats {
 // total degree, and the number of adjacency entries scanned.
 func (r *Runner) topDownStep(level int32, dist []int32) (nf, ne, scanned int64) {
 	g := r.g
-	q := r.queue
+	q := r.sc.queue
 	w := r.workers
+	if w == 1 {
+		// Single-worker fast path: expand inline, no goroutine spawn (and
+		// hence no per-level allocation on the steady-state hot path).
+		local := r.sc.nextQ[0][:0]
+		var localNE, localScan int64
+		for _, u := range q {
+			adj := g.Adj[g.Offsets[u]:g.Offsets[u+1]]
+			localScan += int64(len(adj))
+			for _, v := range adj {
+				if dist[v] == Unreached {
+					dist[v] = level + 1
+					local = append(local, v)
+					localNE += g.Offsets[v+1] - g.Offsets[v]
+				}
+			}
+		}
+		r.sc.nextQ[0] = local
+		r.sc.queue = append(r.sc.queue[:0], local...)
+		return int64(len(local)), localNE, localScan
+	}
 	var totNF, totNE, totScan int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for wk := 0; wk < w; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			local := r.nextQ[wk][:0]
+			local := r.sc.nextQ[wk][:0]
 			var localNE, localScan int64
 			lo := wk * len(q) / w
 			hi := (wk + 1) * len(q) / w
@@ -148,7 +183,7 @@ func (r *Runner) topDownStep(level int32, dist []int32) (nf, ne, scanned int64) 
 					}
 				}
 			}
-			r.nextQ[wk] = local
+			r.sc.nextQ[wk] = local
 			atomic.AddInt64(&totNF, int64(len(local)))
 			atomic.AddInt64(&totNE, localNE)
 			atomic.AddInt64(&totScan, localScan)
@@ -156,9 +191,9 @@ func (r *Runner) topDownStep(level int32, dist []int32) (nf, ne, scanned int64) 
 	}
 	wg.Wait()
 	// Concatenate per-worker buffers into the next queue.
-	r.queue = r.queue[:0]
+	r.sc.queue = r.sc.queue[:0]
 	for wk := 0; wk < w; wk++ {
-		r.queue = append(r.queue, r.nextQ[wk]...)
+		r.sc.queue = append(r.sc.queue, r.sc.nextQ[wk]...)
 	}
 	return totNF, totNE, totScan
 }
@@ -168,7 +203,13 @@ func (r *Runner) topDownStep(level int32, dist []int32) (nf, ne, scanned int64) 
 // the step that slashes edge traffic on low-diameter skewed graphs.
 func (r *Runner) bottomUpStep(level int32, dist []int32) (nf, ne, scanned int64) {
 	g := r.g
-	r.next.Reset()
+	r.sc.next.Reset()
+	if r.workers == 1 {
+		// Single-worker fast path: no goroutine, no closure, no atomics.
+		nf, ne, scanned = r.bottomUpRange(level, dist, 0, g.NumV)
+		r.sc.front.Swap(r.sc.next)
+		return nf, ne, scanned
+	}
 	var totNF, totNE, totScan int64
 	parallel.ForBlock(g.NumV, func(lo, hi int) {
 		var localNF, localNE, localScan int64
@@ -181,9 +222,9 @@ func (r *Runner) bottomUpStep(level int32, dist []int32) (nf, ne, scanned int64)
 				// Membership in the frontier bitmap (fully built before this
 				// phase's barrier) is the parent test; consulting dist here
 				// would race with other workers claiming their own vertices.
-				if r.front.Get(u) {
+				if r.sc.front.Get(u) {
 					dist[v] = level + 1
-					r.next.Set(int32(v))
+					r.sc.next.Set(int32(v))
 					localNF++
 					localNE += g.Offsets[v+1] - g.Offsets[v]
 					localScan += int64(k + 1)
@@ -198,8 +239,35 @@ func (r *Runner) bottomUpStep(level int32, dist []int32) (nf, ne, scanned int64)
 		atomic.AddInt64(&totNE, localNE)
 		atomic.AddInt64(&totScan, localScan)
 	})
-	r.front.Swap(r.next)
+	r.sc.front.Swap(r.sc.next)
 	return totNF, totNE, totScan
+}
+
+// bottomUpRange is one contiguous chunk of the bottom-up step: every
+// unvisited vertex in [lo, hi) scans its adjacency for a parent on the
+// frontier bitmap.
+func (r *Runner) bottomUpRange(level int32, dist []int32, lo, hi int) (nf, ne, scanned int64) {
+	g := r.g
+	for v := lo; v < hi; v++ {
+		if dist[v] != Unreached {
+			continue
+		}
+		adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+		for k, u := range adj {
+			if r.sc.front.Get(u) {
+				dist[v] = level + 1
+				r.sc.next.Set(int32(v))
+				nf++
+				ne += g.Offsets[v+1] - g.Offsets[v]
+				scanned += int64(k + 1)
+				break
+			}
+			if k == len(adj)-1 {
+				scanned += int64(len(adj))
+			}
+		}
+	}
+	return nf, ne, scanned
 }
 
 // rebuildQueue converts the bitmap frontier (vertices at the given level)
@@ -207,26 +275,36 @@ func (r *Runner) bottomUpStep(level int32, dist []int32) (nf, ne, scanned int64)
 func (r *Runner) rebuildQueue(level int32) {
 	g := r.g
 	w := r.workers
+	if w == 1 {
+		q := r.sc.queue[:0]
+		for v := 0; v < g.NumV; v++ {
+			if r.sc.front.Get(int32(v)) {
+				q = append(q, int32(v))
+			}
+		}
+		r.sc.queue = q
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for wk := 0; wk < w; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			local := r.nextQ[wk][:0]
+			local := r.sc.nextQ[wk][:0]
 			lo := wk * g.NumV / w
 			hi := (wk + 1) * g.NumV / w
 			for v := lo; v < hi; v++ {
-				if r.front.Get(int32(v)) {
+				if r.sc.front.Get(int32(v)) {
 					local = append(local, int32(v))
 				}
 			}
-			r.nextQ[wk] = local
+			r.sc.nextQ[wk] = local
 		}(wk)
 	}
 	wg.Wait()
-	r.queue = r.queue[:0]
+	r.sc.queue = r.sc.queue[:0]
 	for wk := 0; wk < w; wk++ {
-		r.queue = append(r.queue, r.nextQ[wk]...)
+		r.sc.queue = append(r.sc.queue, r.sc.nextQ[wk]...)
 	}
 }
 

@@ -41,14 +41,14 @@ var validName = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
 // Info is the externally visible description of one catalog entry.
 type Info struct {
-	Name     string    `json:"name"`
-	Vertices int       `json:"vertices"`
-	Edges    int64     `json:"edges"`
-	Bytes    int64     `json:"bytes"`
-	Weighted bool      `json:"weighted"`
-	Source   string    `json:"source"`
-	Pinned   bool      `json:"pinned"`
-	Added    time.Time `json:"added"`
+	Name     string    `json:"name"`     // unique catalog key (URL-safe)
+	Vertices int       `json:"vertices"` // vertex count
+	Edges    int64     `json:"edges"`    // undirected edge count
+	Bytes    int64     `json:"bytes"`    // in-memory CSR footprint
+	Weighted bool      `json:"weighted"` // whether edges carry weights
+	Source   string    `json:"source"`   // where the graph came from
+	Pinned   bool      `json:"pinned"`   // pinned entries never evict
+	Added    time.Time `json:"added"`    // insertion time
 }
 
 type entry struct {

@@ -21,9 +21,12 @@ type MultilevelOptions struct {
 
 // MultilevelReport describes a multilevel run.
 type MultilevelReport struct {
-	Levels        []int // vertex count per level, finest first
+	// Levels is the vertex count per hierarchy level, finest first.
+	Levels []int
+	// CoarsestEdges is the edge count of the graph ParHDE solved on.
 	CoarsestEdges int64
-	BaseReport    *Report
+	// BaseReport is the ParHDE report of the coarsest-level solve.
+	BaseReport *Report
 }
 
 // MultilevelParHDE implements the paper's §5 future-work direction (and

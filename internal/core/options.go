@@ -11,6 +11,7 @@ import (
 	"repro/internal/bfs"
 	"repro/internal/ortho"
 	"repro/internal/pivot"
+	"repro/internal/workspace"
 )
 
 // DefaultSubspace is the default subspace dimension s. The paper uses 10
@@ -55,16 +56,31 @@ type Options struct {
 	// an unweighted graph); the result is bitwise identical to the
 	// decoupled run.
 	Coupled bool
+	// Workspace supplies pooled scratch for the run's large buffers
+	// (BFS frontiers, the distance matrix, the DOrtho column arena, the
+	// TripleProd panels, the output coordinates). nil allocates fresh
+	// buffers per run. With a workspace the steady state performs no
+	// O(n)-sized allocations, and results are bit-identical to a
+	// fresh-allocation run; the returned Layout aliases workspace storage
+	// and is valid only until the workspace's next run (Clone to retain).
+	Workspace *workspace.Workspace
+	// TrackAllocs records per-phase heap-allocation deltas into
+	// Report.PhaseAllocs. Each phase is bracketed by
+	// runtime.ReadMemStats, which is process-global and stops the world
+	// briefly: intended for the benchmark harness, not production serving.
+	TrackAllocs bool
 }
 
 // LSKernel selects how P = L·S is computed.
 type LSKernel int
 
 const (
-	// LSAuto currently selects ColumnWise: the tiled kernel's advantage
-	// depends on the distance columns outsizing the last-level cache,
-	// which no portable heuristic can see (the ls ablation experiment
-	// measures the crossover per machine). Opt in with LSTiled.
+	// LSAuto selects the blocked (tiled) kernel when a workspace is
+	// attached or the subspace is wide (s ≥ 8) — one edge-list pass
+	// advances all s columns, and with a workspace its repack panels are
+	// pooled — and the column-wise kernel otherwise. The two kernels are
+	// bitwise interchangeable, so the heuristic never changes results
+	// (the ls ablation experiment measures the crossover per machine).
 	LSAuto LSKernel = iota
 	// LSColumnWise runs s independent fused SpMVs (the paper's kernel).
 	LSColumnWise
@@ -73,6 +89,7 @@ const (
 	LSTiled
 )
 
+// String names the kernel the way the -ls command-line flag spells it.
 func (k LSKernel) String() string {
 	switch k {
 	case LSColumnWise:

@@ -17,15 +17,25 @@ import (
 // Report describes what a layout run did: the per-phase timing breakdown
 // and the algorithmic statistics the evaluation section charts.
 type Report struct {
-	Breakdown      Breakdown
-	Sources        []int32
+	// Breakdown is the per-phase wall-time split.
+	Breakdown Breakdown
+	// Sources lists the chosen pivot vertices in selection order.
+	Sources []int32
+	// KeptColumns counts subspace columns that survived
+	// D-orthogonalization; DroppedColumns counts those rejected as
+	// (near-)dependent.
 	KeptColumns    int
-	DroppedColumns int
+	DroppedColumns int // columns rejected as (near-)dependent
 	// Eigenvalues are the projected-problem eigenvalues backing the chosen
 	// axes (ascending for ParHDE: approximations to the smallest
 	// non-degenerate generalized eigenvalues µ of Lu = µDu).
 	Eigenvalues []float64
-	BFSStats    []bfs.Stats
+	// BFSStats records per-traversal direction choices and scanned-edge
+	// counts, one entry per pivot.
+	BFSStats []bfs.Stats
+	// PhaseAllocs holds per-phase heap-allocation deltas; nil unless
+	// Options.TrackAllocs was set.
+	PhaseAllocs []PhaseAlloc
 }
 
 // ParHDE computes a p-dimensional layout of the connected graph g with the
@@ -51,10 +61,15 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 	}
 	rep := &Report{}
 	bd := &rep.Breakdown
+	tr := newAllocTracker(opt.TrackAllocs)
 	n := g.NumV
 	s := opt.Subspace
 	if s >= n {
 		s = n - 1
+	}
+	ws := opt.Workspace
+	if ws != nil {
+		ws.Reshape(n, s, opt.Dims)
 	}
 
 	if opt.Coupled {
@@ -69,9 +84,18 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		var deg []float64
 		var sMat *linalg.Dense
 		var dNorms []float64
+		// degrees computes diag(D) once per run, through the workspace's
+		// cached buffer when one is attached.
+		degrees := func() []float64 {
+			if ws != nil {
+				ws.Deg = g.WeightedDegreesInto(ws.Deg)
+				return ws.Deg
+			}
+			return g.WeightedDegrees()
+		}
 		start := int32(splitmix(opt.Seed) % uint64(n))
-		onTrav := func(f func()) { timed(&bd.BFSTraversal, f) }
-		onOther := func(f func()) { timed(&bd.BFSOther, f) }
+		onTrav := func(f func()) { tr.timed("bfs_traversal", &bd.BFSTraversal, f) }
+		onOther := func(f func()) { tr.timed("bfs_other", &bd.BFSOther, f) }
 
 		if err = ctx.Err(); err != nil {
 			return
@@ -82,10 +106,10 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 			// incremental MGS as soon as its traversal finishes; the O(sn)
 			// distance matrix B is never materialized.
 			if !opt.PlainOrtho {
-				deg = g.WeightedDegrees()
+				deg = degrees()
 			}
 			var res ortho.Result
-			res, err = coupledPhase(ctx, g, s, start, deg, opt, rep, bd)
+			res, err = coupledPhase(ctx, g, s, start, deg, opt, rep, bd, tr)
 			if err != nil {
 				return
 			}
@@ -99,12 +123,21 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 			dNorms = res.DNorms
 		} else {
 			// --- BFS phase -------------------------------------------------
-			b := linalg.NewDense(n, s)
+			// Every entry of b is written before it is read, so a dirty
+			// workspace-backed matrix behaves exactly like a fresh one.
+			var b *linalg.Dense
+			var psc *pivot.Scratch
+			if ws != nil {
+				b = ws.DistView(n, s)
+				psc = ws.Pivot
+			} else {
+				b = linalg.NewDense(n, s)
+			}
 			var ps pivot.PhaseStats
 			if g.Weighted() {
 				ps = pivot.PhaseWeighted(g, b, start, opt.Delta, onTrav, onOther)
 			} else {
-				ps = pivot.Phase(g, b, start, opt.Pivots, opt.BFS, onTrav, onOther)
+				ps = pivot.PhaseScratch(g, b, start, opt.Pivots, opt.BFS, psc, onTrav, onOther)
 			}
 			rep.Sources = ps.Sources
 			rep.BFSStats = ps.Traversal
@@ -123,13 +156,17 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 				return
 			}
 			NotifyPhase(ctx, "dortho")
-			timed(&bd.DOrtho, func() {
+			tr.timed("dortho", &bd.DOrtho, func() {
 				var d []float64
 				if !opt.PlainOrtho {
-					deg = g.WeightedDegrees()
+					deg = degrees()
 					d = deg
 				}
-				res := ortho.DOrthogonalize(b, d, opt.Ortho)
+				var osc *ortho.Scratch
+				if ws != nil {
+					osc = ws.Ortho
+				}
+				res := ortho.DOrthogonalizeScratch(b, d, opt.Ortho, osc)
 				rep.KeptColumns = len(res.Kept)
 				rep.DroppedColumns = res.Dropped
 				layoutCols := opt.Dims
@@ -146,7 +183,7 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 			}
 		}
 		if deg == nil {
-			deg = g.WeightedDegrees()
+			deg = degrees()
 		}
 
 		// --- TripleProd phase --------------------------------------------
@@ -155,15 +192,28 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		}
 		NotifyPhase(ctx, "tripleprod")
 		var p *linalg.Dense
-		timed(&bd.LS, func() {
-			if opt.LS == LSTiled {
+		tr.timed("ls", &bd.LS, func() {
+			tiled := opt.LS == LSTiled ||
+				(opt.LS == LSAuto && (ws != nil || sMat.Cols >= 8))
+			switch {
+			case tiled && ws != nil:
+				p = linalg.LapMulDenseTiledInto(g, deg, sMat,
+					linalg.ViewDense(ws.P, n, sMat.Cols), ws.SRM, ws.PRM)
+			case tiled:
 				p = linalg.LapMulDenseTiled(g, deg, sMat)
-			} else {
+			default:
 				p = linalg.LapMulDense(g, deg, sMat)
 			}
 		})
 		var z *linalg.Dense
-		timed(&bd.Gemm, func() { z = linalg.AtB(sMat, p) })
+		tr.timed("gemm", &bd.Gemm, func() {
+			if ws != nil {
+				k := sMat.Cols
+				z = linalg.AtBInto(sMat, p, linalg.ViewDense(ws.Z, k, k), ws.GemmPartials)
+			} else {
+				z = linalg.AtB(sMat, p)
+			}
+		})
 
 		// --- Eigensolve ---------------------------------------------------
 		if err = ctx.Err(); err != nil {
@@ -171,7 +221,7 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		}
 		NotifyPhase(ctx, "eigensolve")
 		var axes *linalg.Dense
-		timed(&bd.Eigensolve, func() {
+		tr.timed("eigensolve", &bd.Eigensolve, func() {
 			axes, rep.Eigenvalues, err = projectedAxes(z, dNorms, opt.Dims)
 		})
 		if err != nil {
@@ -183,10 +233,16 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 			return
 		}
 		NotifyPhase(ctx, "project")
-		timed(&bd.Project, func() {
-			layout = &Layout{Coords: linalg.MulSmall(sMat, axes)}
+		tr.timed("project", &bd.Project, func() {
+			if ws != nil {
+				c := linalg.MulSmallInto(sMat, axes, linalg.ViewDense(ws.Coords, n, axes.Cols))
+				layout = &Layout{Coords: c}
+			} else {
+				layout = &Layout{Coords: linalg.MulSmall(sMat, axes)}
+			}
 		})
 	})
+	rep.PhaseAllocs = tr.phases
 	if err != nil {
 		return nil, nil, err
 	}
@@ -243,23 +299,48 @@ func splitmix(seed uint64) uint64 {
 // every pivot traversal, so cancelling a long run (s up to 50 traversals
 // over a million-vertex graph) takes effect within one BFS — milliseconds
 // — rather than after the whole phase.
-func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown) (ortho.Result, error) {
+func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown, tr *allocTracker) (ortho.Result, error) {
 	n := g.NumV
-	runner := bfs.NewRunner(g, opt.BFS)
-	dist := make([]int32, n)
-	dmin := make([]int32, n)
+	var (
+		runner     *bfs.Runner
+		dist, dmin []int32
+		col        []float64
+		inc        *ortho.Incremental
+	)
+	if ws := opt.Workspace; ws != nil {
+		runner = bfs.NewRunnerScratch(g, opt.BFS, ws.Pivot.BFS)
+		dist, dmin = ws.Pivot.Dist, ws.Pivot.DMin
+		col = ws.Col
+		inc = ortho.NewIncrementalScratch(n, deg, ws.Ortho)
+	} else {
+		runner = bfs.NewRunner(g, opt.BFS)
+		dist = make([]int32, n)
+		dmin = make([]int32, n)
+		col = make([]float64, n)
+		inc = ortho.NewIncremental(n, deg)
+	}
 	parallelFillInt32(dmin, int32(1)<<30)
-	col := make([]float64, n)
-	inc := ortho.NewIncremental(n, deg)
 
 	src := start
+	rep.Sources = make([]int32, 0, s)
+	rep.BFSStats = make([]bfs.Stats, 0, s)
+	// Hoist the per-pivot closures out of the loop so the steady-state
+	// loop body allocates nothing (a closure literal in the loop would be
+	// constructed s times per run).
+	var ts bfs.Stats
+	traverse := func() { ts = runner.Distances(src, dist) }
+	other := func() {
+		linalg.Int32ToFloat64(col, dist)
+		linalg.MinUpdateInt32(dmin, dist)
+		src = int32(parallel.ArgmaxInt32(dmin))
+	}
+	addCol := func() { inc.Add(col) }
 	for i := 0; i < s; i++ {
 		if err := ctx.Err(); err != nil {
 			return ortho.Result{}, err
 		}
 		rep.Sources = append(rep.Sources, src)
-		var ts bfs.Stats
-		timed(&bd.BFSTraversal, func() { ts = runner.Distances(src, dist) })
+		tr.timed("bfs_traversal", &bd.BFSTraversal, traverse)
 		rep.BFSStats = append(rep.BFSStats, ts)
 		if i == 0 && !opt.SkipConnectivityCheck {
 			for v := range dist {
@@ -268,18 +349,20 @@ func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []f
 				}
 			}
 		}
-		timed(&bd.BFSOther, func() {
-			linalg.Int32ToFloat64(col, dist)
-			linalg.MinUpdateInt32(dmin, dist)
-			src = int32(parallel.MaxIndexInt32(n, func(j int) int32 { return dmin[j] }))
-		})
-		timed(&bd.DOrtho, func() { inc.Add(col) })
+		tr.timed("bfs_other", &bd.BFSOther, other)
+		tr.timed("dortho", &bd.DOrtho, addCol)
 	}
 	return inc.Result(), nil
 }
 
 // parallelFillInt32 sets every element of x to v.
 func parallelFillInt32(x []int32, v int32) {
+	if parallel.Serial(len(x)) {
+		for i := range x {
+			x[i] = v
+		}
+		return
+	}
 	parallel.ForBlock(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] = v

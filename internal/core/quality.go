@@ -15,10 +15,12 @@ type Quality struct {
 	// HallRatio is Σ_k xₖᵀLxₖ / Σ_k xₖᵀDxₖ, computed on centered axes —
 	// the objective of Equation 1 (without the orthogonality constraints).
 	HallRatio float64
-	// MeanEdgeLength and EdgeLengthCV (coefficient of variation) describe
-	// the drawn edge lengths after unit normalization.
+	// MeanEdgeLength is the mean drawn edge length after unit
+	// normalization.
 	MeanEdgeLength float64
-	EdgeLengthCV   float64
+	// EdgeLengthCV is the coefficient of variation of the drawn edge
+	// lengths — lower is more uniform.
+	EdgeLengthCV float64
 }
 
 // Evaluate computes layout-quality metrics for l on g.

@@ -9,6 +9,8 @@ import (
 
 // RefineStats reports the work of a refinement run.
 type RefineStats struct {
+	// Iterations is how many refinement sweeps ran before convergence or
+	// the iteration cap.
 	Iterations int
 	// Residual is the final max over axes of ‖D⁻¹A·x − λx‖_D — how far
 	// the axes are from true degree-normalized eigenvectors.

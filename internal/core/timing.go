@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 )
 
@@ -17,7 +18,7 @@ type Breakdown struct {
 	Project      time.Duration // [x, y] = S·Y ("Other" in Fig. 3)
 	Centering    time.Duration // PHDE column centering / PivotMDS double centering
 	LapBuild     time.Duration // prior baseline: explicit Laplacian materialization
-	Total        time.Duration
+	Total        time.Duration // whole-run wall time
 }
 
 // BFS returns the whole BFS-phase time (traversal + other).
@@ -47,8 +48,8 @@ func (b Breakdown) Percentages() (bfsP, tripleP, orthoP, otherP float64) {
 
 // Phase is one named entry of the per-phase breakdown, in export form.
 type Phase struct {
-	Name string
-	D    time.Duration
+	Name string        // phase id, e.g. "bfs_traversal"
+	D    time.Duration // cumulative wall time of the phase
 }
 
 // Phases returns the breakdown as an ordered name/duration list, the form
@@ -68,6 +69,7 @@ func (b Breakdown) Phases() []Phase {
 	}
 }
 
+// String renders the Figure 3-style percentage split on one line.
 func (b Breakdown) String() string {
 	bp, tp, op, rp := b.Percentages()
 	return fmt.Sprintf("total %v | BFS %v (%.1f%%) TripleProd %v (%.1f%%) DOrtho %v (%.1f%%) Other %v (%.1f%%)",
@@ -82,4 +84,57 @@ func timed(acc *time.Duration, f func()) {
 	start := time.Now()
 	f()
 	*acc += time.Since(start)
+}
+
+// PhaseAlloc records one phase's cumulative heap activity during a
+// TrackAllocs run. Deltas are captured with runtime.ReadMemStats around
+// each phase, so they are process-global: allocations by concurrent
+// goroutines are attributed to whatever phase was running. Exact in the
+// single-run benchmark harness, indicative elsewhere.
+type PhaseAlloc struct {
+	// Name matches the Breakdown phase names of Phases.
+	Name string
+	// Allocs counts heap objects allocated while the phase ran.
+	Allocs uint64
+	// Bytes counts heap bytes allocated while the phase ran.
+	Bytes uint64
+}
+
+// allocTracker accumulates per-phase heap deltas; when disabled its timed
+// costs one branch over the plain helper.
+type allocTracker struct {
+	enabled bool
+	phases  []PhaseAlloc
+	index   map[string]int
+}
+
+func newAllocTracker(enabled bool) *allocTracker {
+	t := &allocTracker{enabled: enabled}
+	if enabled {
+		t.index = make(map[string]int)
+	}
+	return t
+}
+
+// timed is the tracking variant of the package-level timed: it adds f's
+// wall time to *acc and, when tracking is enabled, its heap-allocation
+// delta to the named phase (phases hit repeatedly, like the per-pivot BFS
+// timers, accumulate).
+func (t *allocTracker) timed(name string, acc *time.Duration, f func()) {
+	if !t.enabled {
+		timed(acc, f)
+		return
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	timed(acc, f)
+	runtime.ReadMemStats(&after)
+	i, ok := t.index[name]
+	if !ok {
+		i = len(t.phases)
+		t.phases = append(t.phases, PhaseAlloc{Name: name})
+		t.index[name] = i
+	}
+	t.phases[i].Allocs += after.Mallocs - before.Mallocs
+	t.phases[i].Bytes += after.TotalAlloc - before.TotalAlloc
 }

@@ -9,7 +9,9 @@ import (
 // ZoomResult is a layout of the k-hop neighborhood of a selected vertex,
 // with the mapping back to the original vertex ids.
 type ZoomResult struct {
-	Layout   *Layout
+	// Layout is the neighborhood's own layout (subgraph vertex ids).
+	Layout *Layout
+	// Subgraph is the extracted k-hop neighborhood.
 	Subgraph *graph.CSR
 	// Orig[i] is the original id of subgraph vertex i.
 	Orig []int32

@@ -9,9 +9,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workspace"
 )
 
-// BenchEntry is one graph's timing in a standard benchmark pass.
+// BenchEntry is one graph's timing and allocation profile in a standard
+// benchmark pass.
 type BenchEntry struct {
 	Graph     string             `json:"graph"`
 	Analogue  string             `json:"analogue"`
@@ -20,6 +23,20 @@ type BenchEntry struct {
 	Algorithm string             `json:"algorithm"`
 	Seconds   float64            `json:"seconds"` // minimum over Reps runs
 	Phases    map[string]float64 `json:"phases"`  // per-phase split of the fastest run
+
+	// AllocsFresh / BytesFresh profile a run that allocates every buffer
+	// itself (no workspace) — the cost a one-shot caller pays.
+	AllocsFresh float64 `json:"allocsFresh"`
+	BytesFresh  uint64  `json:"bytesFresh"`
+	// AllocsSteady / BytesSteady profile the warmed-workspace steady
+	// state — the cost a job-engine worker pays per layout after the
+	// first. Near zero by design; the CI gate in perf/alloc_budget.json
+	// keeps it there.
+	AllocsSteady float64 `json:"allocsSteady"`
+	BytesSteady  uint64  `json:"bytesSteady"`
+	// PhaseAllocs attributes the steady-state heap objects to pipeline
+	// phases (one TrackAllocs run over the warmed workspace).
+	PhaseAllocs map[string]uint64 `json:"phaseAllocs"`
 }
 
 // BenchReport is the machine-readable benchmark record hdebench emits as
@@ -64,7 +81,7 @@ func Bench(cfg Config) (*BenchReport, error) {
 		for _, p := range best.Breakdown.Phases() {
 			phases[p.Name] = p.D.Seconds()
 		}
-		rep.Entries = append(rep.Entries, BenchEntry{
+		e := BenchEntry{
 			Graph:     ng.Name,
 			Analogue:  ng.Analogue,
 			Vertices:  ng.G.NumV,
@@ -72,9 +89,63 @@ func Bench(cfg Config) (*BenchReport, error) {
 			Algorithm: "parhde",
 			Seconds:   best.Breakdown.Total.Seconds(),
 			Phases:    phases,
-		})
+		}
+		if err := profileAllocs(&e, ng.G, opt, cfg.Reps); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", ng.Name, err)
+		}
+		rep.Entries = append(rep.Entries, e)
 	}
 	return rep, nil
+}
+
+// profileAllocs fills e's allocation fields: a fresh-buffers profile, a
+// warmed-workspace steady-state profile, and the per-phase attribution of
+// the steady state. GOMAXPROCS is pinned to 1 for the measurement so the
+// parallel primitives take their deterministic serial paths and no
+// concurrent goroutine pollutes the ReadMemStats deltas.
+func profileAllocs(e *BenchEntry, g *graph.CSR, opt core.Options, reps int) error {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	measure := func(run func() error) (float64, uint64, error) {
+		if err := run(); err != nil { // warm (pool buckets, workspace)
+			return 0, 0, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < reps; i++ {
+			if err := run(); err != nil {
+				return 0, 0, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(reps),
+			(after.TotalAlloc - before.TotalAlloc) / uint64(reps), nil
+	}
+	var err error
+	fresh := opt
+	if e.AllocsFresh, e.BytesFresh, err = measure(func() error {
+		_, _, err := core.ParHDE(g, fresh)
+		return err
+	}); err != nil {
+		return err
+	}
+	warmed := opt
+	warmed.Workspace = workspace.New()
+	if e.AllocsSteady, e.BytesSteady, err = measure(func() error {
+		_, _, err := core.ParHDE(g, warmed)
+		return err
+	}); err != nil {
+		return err
+	}
+	warmed.TrackAllocs = true
+	_, rep, err := core.ParHDE(g, warmed)
+	if err != nil {
+		return err
+	}
+	e.PhaseAllocs = map[string]uint64{}
+	for _, pa := range rep.PhaseAllocs {
+		e.PhaseAllocs[pa.Name] = pa.Allocs
+	}
+	return nil
 }
 
 // WriteBenchJSON writes rep to dir/BENCH_<date>.json and returns the

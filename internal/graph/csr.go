@@ -55,8 +55,25 @@ func (g *CSR) Weighted() bool { return g.Weights != nil }
 // unweighted graphs this is the plain degree. The computation is
 // parallelized over vertices.
 func (g *CSR) WeightedDegrees() []float64 {
-	d := make([]float64, g.NumV)
+	return g.WeightedDegreesInto(nil)
+}
+
+// WeightedDegreesInto is WeightedDegrees writing into buf when its
+// capacity suffices (allocating otherwise), so a pooled caller re-pays no
+// O(n) allocation per run.
+func (g *CSR) WeightedDegreesInto(buf []float64) []float64 {
+	d := buf
+	if cap(d) < g.NumV {
+		d = make([]float64, g.NumV)
+	}
+	d = d[:g.NumV]
 	if g.Weights == nil {
+		if parallel.Serial(g.NumV) {
+			for i := 0; i < g.NumV; i++ {
+				d[i] = float64(g.Offsets[i+1] - g.Offsets[i])
+			}
+			return d
+		}
 		parallel.For(g.NumV, func(i int) {
 			d[i] = float64(g.Offsets[i+1] - g.Offsets[i])
 		})

@@ -26,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/workspace"
 )
 
 // Defaults for the zero-value Config.
@@ -255,22 +256,41 @@ func (e *Engine) Close() {
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	// Each worker owns one workspace for the jobs it runs: consecutive
+	// same-shaped layouts reuse warm buffers and the steady state performs
+	// no O(n)-sized allocations. Worker-private ownership means no
+	// cross-goroutine handoff and no locking on the hot path.
+	ws := workspace.New()
 	for j := range e.queue {
-		e.runJob(j)
+		e.runJob(j, ws)
 	}
 }
 
-func (e *Engine) runJob(j *Job) {
+func (e *Engine) runJob(j *Job, ws *workspace.Workspace) {
 	if !j.begin() {
 		// Cancelled while queued; Cancel already finalized it.
 		return
 	}
 	e.running.Add(1)
 	ctx := core.WithPhaseNotify(j.ctx, j.setPhase)
-	res, err := e.cfg.run(ctx, j.g, j.cfg)
+	// Work on a copy of the config: j.cfg is read concurrently by
+	// Status(), and the workspace is a per-run attachment, not part of
+	// the submitted configuration. Only the plain ParHDE algorithm
+	// honors a workspace (the others allocate privately).
+	cfg := j.cfg
+	if cfg.Algorithm == pipeline.ParHDE {
+		cfg.Layout.Workspace = ws
+	}
+	res, err := e.cfg.run(ctx, j.g, cfg)
 	e.running.Add(-1)
 	switch {
 	case err == nil:
+		// A workspace-backed layout aliases the worker's scratch and is
+		// only valid until the next job; deep-copy it so retained results
+		// stay immutable.
+		if cfg.Layout.Workspace != nil && res != nil && res.Layout != nil {
+			res.Layout = res.Layout.Clone()
+		}
 		j.finish(StateDone, res, nil)
 	case j.ctx.Err() != nil:
 		j.finish(StateCancelled, nil, err)
@@ -337,14 +357,49 @@ func (j *Job) finishedAt() time.Time {
 	return j.finished
 }
 
-// persistRecord is the on-disk shape of a completed job.
-type persistRecord struct {
-	Status  Status      `json:"status"`
+// PersistVersion is the schema version persist stamps into every record
+// it writes. The schema evolves additively: bumping the version marks
+// records whose fields a strictly older reader could misinterpret, not
+// every new optional field.
+const PersistVersion = 1
+
+// Record is the on-disk shape of a completed job (DataDir/<jobID>.json).
+type Record struct {
+	// Version is the schema version the record was written with. Records
+	// from before versioning decode as 0 and remain readable.
+	Version int `json:"version"`
+	// Status snapshots the job at completion time.
+	Status Status `json:"status"`
+	// Quality carries the layout quality metrics, when evaluated.
 	Quality interface{} `json:"quality,omitempty"`
+	// Dims is the layout dimensionality p.
+	Dims int `json:"dims"`
 	// Coords is column-major: coordinate k of all vertices occupies
 	// Coords[k*n : (k+1)*n], matching linalg.Dense storage.
-	Dims   int       `json:"dims"`
 	Coords []float64 `json:"coords"`
+}
+
+// ReadRecord loads one persisted job record. The reader is tolerant by
+// policy: legacy records without a version field (version 0) and any
+// record up to PersistVersion are accepted, and unknown fields from
+// additive newer writers are ignored. Records declaring a version beyond
+// PersistVersion are rejected rather than silently misread.
+func ReadRecord(path string) (*Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("jobs: decoding %s: %w", filepath.Base(path), err)
+	}
+	if rec.Version > PersistVersion {
+		return nil, fmt.Errorf("jobs: record %s has schema version %d, newer than supported %d", filepath.Base(path), rec.Version, PersistVersion)
+	}
+	if rec.Dims > 0 && len(rec.Coords)%rec.Dims != 0 {
+		return nil, fmt.Errorf("jobs: record %s has %d coords, not divisible by %d dims", filepath.Base(path), len(rec.Coords), rec.Dims)
+	}
+	return &rec, nil
 }
 
 // persist writes the finished job's result to DataDir/<id>.json.
@@ -356,7 +411,8 @@ func (e *Engine) persist(j *Job) error {
 	if err := os.MkdirAll(e.cfg.DataDir, 0o755); err != nil {
 		return err
 	}
-	rec := persistRecord{
+	rec := Record{
+		Version: PersistVersion,
 		Status:  j.Status(),
 		Quality: res.Quality,
 		Dims:    res.Layout.Dims(),

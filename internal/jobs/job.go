@@ -15,13 +15,19 @@ import (
 type State int
 
 const (
+	// StateQueued means the job waits in the queue for a worker.
 	StateQueued State = iota
+	// StateRunning means a worker is computing the layout now.
 	StateRunning
+	// StateDone means the job finished and its result is available.
 	StateDone
+	// StateFailed means the pipeline returned an error (kept in Status).
 	StateFailed
+	// StateCancelled means the job was cancelled before or during a run.
 	StateCancelled
 )
 
+// String spells the state the way the HTTP API reports it.
 func (s State) String() string {
 	switch s {
 	case StateQueued:
@@ -44,22 +50,25 @@ func (s State) terminal() bool { return s >= StateDone }
 
 // PhaseSeconds is one per-phase timing entry of a finished job's report.
 type PhaseSeconds struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
+	Name    string  `json:"name"`    // phase id, e.g. "bfs_traversal"
+	Seconds float64 `json:"seconds"` // cumulative wall time in seconds
 }
 
 // Status is a point-in-time snapshot of a job, shaped for JSON.
 type Status struct {
-	ID        string `json:"id"`
-	Graph     string `json:"graph"`
-	Algorithm string `json:"algorithm"`
-	State     string `json:"state"`
+	ID        string `json:"id"`        // engine-assigned job id
+	Graph     string `json:"graph"`     // catalog name of the input graph
+	Algorithm string `json:"algorithm"` // pipeline algorithm name
+	State     string `json:"state"`     // State.String() of the snapshot
 	// Phase is the engine phase currently executing (running jobs only).
-	Phase    string     `json:"phase,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	Phase string `json:"phase,omitempty"`
+	// Error carries the failure message of a StateFailed job.
+	Error string `json:"error,omitempty"`
+	// Created, Started, and Finished are the lifecycle timestamps;
+	// Started and Finished are nil until the transition happens.
 	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
+	Started  *time.Time `json:"started,omitempty"`  // nil while queued
+	Finished *time.Time `json:"finished,omitempty"` // nil until terminal
 	// ElapsedSeconds is run time so far (running) or total (terminal).
 	ElapsedSeconds float64 `json:"elapsedSeconds"`
 	// Phases is the core.Breakdown per-phase split, present once done.

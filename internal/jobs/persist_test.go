@@ -1,0 +1,114 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+)
+
+func writeRecord(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadRecordCurrent(t *testing.T) {
+	rec := Record{
+		Version: PersistVersion,
+		Status:  Status{ID: "j000001", State: "done"},
+		Dims:    2,
+		Coords:  []float64{1, 2, 3, 4},
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecord(writeRecord(t, "cur.json", string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != PersistVersion || got.Status.ID != "j000001" || got.Dims != 2 || len(got.Coords) != 4 {
+		t.Fatalf("record = %+v", got)
+	}
+}
+
+func TestReadRecordLegacyWithoutVersion(t *testing.T) {
+	// Pre-versioning writers emitted no version key; an additive newer
+	// writer may emit keys this reader has never heard of. Both must load.
+	path := writeRecord(t, "legacy.json",
+		`{"status":{"id":"j000002","state":"done"},"dims":2,"coords":[1,2,3,4],"futureField":"ignored"}`)
+	got, err := ReadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 0 {
+		t.Fatalf("legacy record decoded version %d, want 0", got.Version)
+	}
+	if got.Status.ID != "j000002" || len(got.Coords) != 4 {
+		t.Fatalf("record = %+v", got)
+	}
+}
+
+func TestReadRecordRejections(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"future version", `{"version":99,"dims":2,"coords":[1,2]}`, "newer than supported"},
+		{"corrupt json", `{"version":1,"dims":`, "decoding"},
+		{"coords not divisible by dims", `{"version":1,"dims":3,"coords":[1,2,3,4]}`, "not divisible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadRecord(writeRecord(t, "rec.json", tc.body))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := ReadRecord(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("reading a missing file succeeded")
+	}
+}
+
+// TestWorkerWorkspaceReuseMatchesFresh runs the same job repeatedly
+// through a single worker — whose workspace is dirtied by each run — and
+// checks every retained layout is bit-identical to a fresh standalone
+// pipeline run, proving the clone-out of workspace-backed results.
+func TestWorkerWorkspaceReuseMatchesFresh(t *testing.T) {
+	cfg := pipeline.Config{Layout: core.Options{Subspace: 8, Seed: 7}, SkipQuality: true}
+	want, err := pipeline.Run(gen.Grid2D(12, 12), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(testCatalog(t), Config{Workers: 1})
+	defer e.Close()
+	var jobsRun []*Job
+	for i := 0; i < 3; i++ {
+		j, err := e.Submit("grid", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, StateDone)
+		jobsRun = append(jobsRun, j)
+	}
+	for i, j := range jobsRun {
+		got := j.Result().Layout.Coords.Data
+		if len(got) != len(want.Layout.Coords.Data) {
+			t.Fatalf("job %d: %d coords, want %d", i, len(got), len(want.Layout.Coords.Data))
+		}
+		for k := range got {
+			if got[k] != want.Layout.Coords.Data[k] {
+				t.Fatalf("job %d: coord %d = %v, fresh run has %v", i, k, got[k], want.Layout.Coords.Data[k])
+			}
+		}
+	}
+}

@@ -16,6 +16,17 @@ func NewDense(rows, cols int) *Dense {
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// ViewDense wraps buf as a rows×cols column-major matrix without copying
+// (cap(buf) must be ≥ rows·cols). Workspace-backed kernels use it to give
+// pooled flat buffers a Dense shape; the contents are reused verbatim, so
+// callers that need zeroed storage must clear it themselves.
+func ViewDense(buf []float64, rows, cols int) *Dense {
+	if cap(buf) < rows*cols {
+		panic(fmt.Sprintf("linalg: viewing %d×%d over cap %d", rows, cols, cap(buf)))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: buf[:rows*cols]}
+}
+
 // Col returns column j as a slice sharing the matrix storage.
 func (m *Dense) Col(j int) []float64 {
 	return m.Data[j*m.Rows : (j+1)*m.Rows]

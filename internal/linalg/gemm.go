@@ -12,34 +12,79 @@ import (
 // arithmetic intensity is s and its depth is independent of s (Table 1).
 //
 // The row dimension is blocked across workers; each worker accumulates a
-// private s×t panel that is reduced serially at the end, so results are
-// deterministic for a fixed worker count.
+// private s×t panel and the panels are combined serially in block order,
+// so results are deterministic for a fixed worker count.
 func AtB(a, b *Dense) *Dense {
+	return AtBInto(a, b, nil, nil)
+}
+
+// AtBInto is AtB writing into c (allocated when nil; contents are
+// overwritten) with partials as the per-block panel arena (capacity ≥
+// ReduceBlocks(n)·s·t floats, grown when short). A workspace-backed
+// caller passes both and the steady-state product allocates nothing.
+func AtBInto(a, b, c *Dense, partials []float64) *Dense {
 	if a.Rows != b.Rows {
 		panic("linalg: AtB dimension mismatch")
 	}
 	n, s, t := a.Rows, a.Cols, b.Cols
-	c := NewDense(s, t)
-	var mu sync.Mutex
-	parallel.ForBlock(n, func(lo, hi int) {
-		local := make([]float64, s*t)
+	if c == nil {
+		c = NewDense(s, t)
+	} else if c.Rows != s || c.Cols != t {
+		panic("linalg: AtBInto output shape mismatch")
+	}
+	nb := ReduceBlocks(n)
+	if nb == 1 {
 		for j := 0; j < t; j++ {
 			bj := b.Col(j)
 			for i := 0; i < s; i++ {
 				ai := a.Col(i)
 				var sum float64
-				for r := lo; r < hi; r++ {
+				for r := 0; r < n; r++ {
 					sum += ai[r] * bj[r]
 				}
-				local[j*s+i] = sum
+				c.Data[j*s+i] = sum
 			}
 		}
-		mu.Lock()
-		for k, v := range local {
-			c.Data[k] += v
+		return c
+	}
+	// buf: see dotBlocks — keep the captured variable write-free after
+	// capture so the serial path stays allocation-free.
+	var buf []float64
+	if cap(partials) >= nb*s*t {
+		buf = partials[:nb*s*t]
+	} else {
+		buf = make([]float64, nb*s*t)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for w := 0; w < nb; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/nb, (w+1)*n/nb
+			local := buf[w*s*t : (w+1)*s*t]
+			for j := 0; j < t; j++ {
+				bj := b.Col(j)
+				for i := 0; i < s; i++ {
+					ai := a.Col(i)
+					var sum float64
+					for r := lo; r < hi; r++ {
+						sum += ai[r] * bj[r]
+					}
+					local[j*s+i] = sum
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Combine the per-block panels serially in block order (deterministic,
+	// unlike a lock-ordered reduction).
+	for k := 0; k < s*t; k++ {
+		var sum float64
+		for w := 0; w < nb; w++ {
+			sum += buf[w*s*t+k]
 		}
-		mu.Unlock()
-	})
+		c.Data[k] = sum
+	}
 	return c
 }
 
@@ -47,25 +92,47 @@ func AtB(a, b *Dense) *Dense {
 // s×p (tiny). This is the final projection [x, y] = B·Y of both HDE
 // variants. Parallelized over row blocks.
 func MulSmall(a, y *Dense) *Dense {
+	return MulSmallInto(a, y, nil)
+}
+
+// MulSmallInto is MulSmall writing into c (allocated when nil; contents
+// are overwritten). Each output element is produced by exactly one block,
+// so reuse changes nothing numerically.
+func MulSmallInto(a, y, c *Dense) *Dense {
 	if a.Cols != y.Rows {
 		panic("linalg: MulSmall dimension mismatch")
 	}
-	n, s, p := a.Rows, a.Cols, y.Cols
-	c := NewDense(n, p)
-	parallel.ForBlock(n, func(lo, hi int) {
-		for j := 0; j < p; j++ {
-			cj := c.Col(j)
-			for k := 0; k < s; k++ {
-				ak := a.Col(k)
-				f := y.At(k, j)
-				if f == 0 {
-					continue
-				}
-				for r := lo; r < hi; r++ {
-					cj[r] += f * ak[r]
-				}
+	n, p := a.Rows, y.Cols
+	if c == nil {
+		c = NewDense(n, p)
+	} else if c.Rows != n || c.Cols != p {
+		panic("linalg: MulSmallInto output shape mismatch")
+	}
+	if parallel.Serial(n) {
+		mulSmallRows(a, y, c, 0, n)
+	} else {
+		parallel.ForBlock(n, func(lo, hi int) { mulSmallRows(a, y, c, lo, hi) })
+	}
+	return c
+}
+
+// mulSmallRows computes rows [lo, hi) of c = a·y.
+func mulSmallRows(a, y, c *Dense, lo, hi int) {
+	s, p := a.Cols, y.Cols
+	for j := 0; j < p; j++ {
+		cj := c.Col(j)
+		for r := lo; r < hi; r++ {
+			cj[r] = 0
+		}
+		for k := 0; k < s; k++ {
+			ak := a.Col(k)
+			f := y.At(k, j)
+			if f == 0 {
+				continue
+			}
+			for r := lo; r < hi; r++ {
+				cj[r] += f * ak[r]
 			}
 		}
-	})
-	return c
+	}
 }

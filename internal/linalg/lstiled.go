@@ -9,71 +9,117 @@ import (
 // s ≫ 1 special case the paper points at ("performance can be further
 // improved for special cases such as m/n ≫ s or s ≫ 1", §3.1): instead
 // of s independent SpMV passes that each re-read the adjacency structure,
-// the matrix is repacked row-major so one pass over the graph advances all
-// s columns — each neighbor access loads s contiguous values, raising the
-// kernel's arithmetic intensity from O(1) to O(s) (Table 1's analysis).
-// The repacking costs two extra streaming passes over the n×s data, which
-// the single graph traversal amortizes for s ≳ 8.
+// the matrix is repacked row-major so one pass over the edge list
+// advances all s columns — each neighbor access loads a vertex's full
+// s-wide row contiguously, raising the kernel's arithmetic intensity from
+// O(1) to O(s) (Table 1's analysis). The repacking costs two extra
+// streaming passes over the n×s data, which the single graph traversal
+// amortizes for s ≳ 8. Per-element accumulation order matches
+// LapMulDense exactly, so the two kernels are bitwise interchangeable.
 func LapMulDenseTiled(g *graph.CSR, deg []float64, s *Dense) *Dense {
+	return LapMulDenseTiledInto(g, deg, s, nil, nil, nil)
+}
+
+// LapMulDenseTiledInto is LapMulDenseTiled with caller-provided storage:
+// p receives the product (allocated when nil), and srm/prm are the n·s
+// row-major repack panels (allocated when their capacity is short). A
+// workspace-backed caller passes all three and the steady-state kernel
+// performs no O(n·s) allocations.
+func LapMulDenseTiledInto(g *graph.CSR, deg []float64, s, p *Dense, srm, prm []float64) *Dense {
 	n, cols := s.Rows, s.Cols
 	if n != g.NumV {
 		panic("linalg: LapMulDenseTiled dimension mismatch")
 	}
-	if cols == 0 {
-		return NewDense(n, 0)
+	if p == nil {
+		p = NewDense(n, cols)
+	} else if p.Rows != n || p.Cols != cols {
+		panic("linalg: LapMulDenseTiledInto output shape mismatch")
 	}
+	if cols == 0 {
+		return p
+	}
+	if cap(srm) < n*cols {
+		srm = make([]float64, n*cols)
+	}
+	if cap(prm) < n*cols {
+		prm = make([]float64, n*cols)
+	}
+	srm, prm = srm[:n*cols], prm[:n*cols]
 	// Pack S row-major.
-	srm := make([]float64, n*cols)
-	parallel.ForBlock(n, func(lo, hi int) {
-		for j := 0; j < cols; j++ {
-			col := s.Col(j)
-			for i := lo; i < hi; i++ {
-				srm[i*cols+j] = col[i]
-			}
-		}
-	})
-	prm := make([]float64, n*cols)
-	weighted := g.Weighted()
-	parallel.ForBlock(n, func(lo, hi int) {
-		acc := make([]float64, cols)
-		for i := lo; i < hi; i++ {
-			for k := range acc {
-				acc[k] = 0
-			}
-			o0, o1 := g.Offsets[i], g.Offsets[i+1]
-			if weighted {
-				for a := o0; a < o1; a++ {
-					row := srm[int(g.Adj[a])*cols:]
-					w := g.Weights[a]
-					for k := 0; k < cols; k++ {
-						acc[k] += w * row[k]
-					}
-				}
-			} else {
-				for a := o0; a < o1; a++ {
-					row := srm[int(g.Adj[a])*cols:]
-					for k := 0; k < cols; k++ {
-						acc[k] += row[k]
-					}
-				}
-			}
-			d := deg[i]
-			self := srm[i*cols:]
-			out := prm[i*cols:]
-			for k := 0; k < cols; k++ {
-				out[k] = d*self[k] - acc[k]
-			}
-		}
-	})
+	if parallel.Serial(n) {
+		packRowMajor(s, srm, 0, n, cols)
+	} else {
+		parallel.ForBlock(n, func(lo, hi int) { packRowMajor(s, srm, lo, hi, cols) })
+	}
+	// One edge-list pass advances all cols columns. Each vertex's output
+	// row doubles as its accumulator — rows partition across blocks, so
+	// this is race-free and saves a per-block scratch allocation.
+	if parallel.Serial(n) {
+		fusedRows(g, deg, srm, prm, 0, n, cols)
+	} else {
+		parallel.ForBlock(n, func(lo, hi int) { fusedRows(g, deg, srm, prm, lo, hi, cols) })
+	}
 	// Unpack to the column-major result.
-	p := NewDense(n, cols)
-	parallel.ForBlock(n, func(lo, hi int) {
-		for j := 0; j < cols; j++ {
-			col := p.Col(j)
-			for i := lo; i < hi; i++ {
-				col[i] = prm[i*cols+j]
+	if parallel.Serial(n) {
+		unpackRowMajor(p, prm, 0, n, cols)
+	} else {
+		parallel.ForBlock(n, func(lo, hi int) { unpackRowMajor(p, prm, lo, hi, cols) })
+	}
+	return p
+}
+
+// packRowMajor transposes rows [lo, hi) of the column-major s into srm.
+func packRowMajor(s *Dense, srm []float64, lo, hi, cols int) {
+	for j := 0; j < cols; j++ {
+		col := s.Col(j)
+		for i := lo; i < hi; i++ {
+			srm[i*cols+j] = col[i]
+		}
+	}
+}
+
+// fusedRows computes rows [lo, hi) of the row-major product prm = L·S
+// over the row-major pack srm: prm_i = deg_i·srm_i − Σ_{u∈adj(i)} srm_u,
+// accumulating into prm_i itself. The accumulation order per element
+// matches LapMulDense exactly (adjacency order, degree term last).
+func fusedRows(g *graph.CSR, deg, srm, prm []float64, lo, hi, cols int) {
+	weighted := g.Weighted()
+	for i := lo; i < hi; i++ {
+		acc := prm[i*cols : (i+1)*cols]
+		for k := range acc {
+			acc[k] = 0
+		}
+		o0, o1 := g.Offsets[i], g.Offsets[i+1]
+		if weighted {
+			for a := o0; a < o1; a++ {
+				row := srm[int(g.Adj[a])*cols:]
+				w := g.Weights[a]
+				for k := 0; k < cols; k++ {
+					acc[k] += w * row[k]
+				}
+			}
+		} else {
+			for a := o0; a < o1; a++ {
+				row := srm[int(g.Adj[a])*cols:]
+				for k := 0; k < cols; k++ {
+					acc[k] += row[k]
+				}
 			}
 		}
-	})
-	return p
+		d := deg[i]
+		self := srm[i*cols:]
+		for k := 0; k < cols; k++ {
+			acc[k] = d*self[k] - acc[k]
+		}
+	}
+}
+
+// unpackRowMajor transposes rows [lo, hi) of prm into the column-major p.
+func unpackRowMajor(p *Dense, prm []float64, lo, hi, cols int) {
+	for j := 0; j < cols; j++ {
+		col := p.Col(j)
+		for i := lo; i < hi; i++ {
+			col[i] = prm[i*cols+j]
+		}
+	}
 }

@@ -7,6 +7,7 @@ package linalg
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -15,7 +16,17 @@ import (
 // combined serially (log-depth reduction in the paper's model).
 func Dot(x, y []float64) float64 {
 	checkLen(len(x), len(y))
-	return parallel.SumFloat64(len(x), func(i int) float64 { return x[i] * y[i] })
+	return dotBlocks(x, nil, y, nil)
+}
+
+// DotWith is Dot with a caller-provided partials buffer (capacity ≥
+// parallel.Workers()), so a steady-state caller — e.g. the MGS sweep
+// reusing one buffer across all its inner products — allocates nothing.
+// The blocking and serial combine order are identical to Dot's, so the
+// two produce bitwise-identical sums.
+func DotWith(x, y, partials []float64) float64 {
+	checkLen(len(x), len(y))
+	return dotBlocks(x, nil, y, partials)
 }
 
 // DDot returns xᵀDy where D is the diagonal matrix diag(d) — the D-inner
@@ -23,12 +34,98 @@ func Dot(x, y []float64) float64 {
 func DDot(x, d, y []float64) float64 {
 	checkLen(len(x), len(y))
 	checkLen(len(x), len(d))
-	return parallel.SumFloat64(len(x), func(i int) float64 { return x[i] * d[i] * y[i] })
+	return dotBlocks(x, d, y, nil)
 }
 
-// Axpy computes y ← y + a·x.
+// DDotWith is DDot with a caller-provided partials buffer; see DotWith.
+func DDotWith(x, d, y, partials []float64) float64 {
+	checkLen(len(x), len(y))
+	checkLen(len(x), len(d))
+	return dotBlocks(x, d, y, partials)
+}
+
+// ReduceBlocks returns the number of contiguous blocks a length-n
+// reduction fans out to: the partitioning parallel.SumFloat64 uses, so a
+// caller sizing a reusable partials buffer can cover the worst case with
+// ReduceBlocks(n) entries (bounded by parallel.Workers()).
+func ReduceBlocks(n int) int {
+	p := parallel.Workers()
+	if p <= 1 || n < 2*parallel.MinGrain {
+		return 1
+	}
+	if maxB := (n + parallel.MinGrain - 1) / parallel.MinGrain; p > maxB {
+		p = maxB
+	}
+	return p
+}
+
+// dotBlocks computes xᵀy (d == nil) or xᵀdiag(d)y with one contiguous
+// block per worker and a serial in-order combine: the same shape as
+// parallel.SumFloat64, minus the per-call closure, plus an optional
+// reusable partials buffer. Deterministic for a fixed worker count.
+func dotBlocks(x, d, y, partials []float64) float64 {
+	n := len(x)
+	p := ReduceBlocks(n)
+	if p == 1 {
+		var s float64
+		if d == nil {
+			for i := 0; i < n; i++ {
+				s += x[i] * y[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				s += x[i] * d[i] * y[i]
+			}
+		}
+		return s
+	}
+	// buf is written only before the goroutines capture it: a captured
+	// variable assigned after capture would be heap-boxed at function
+	// entry, charging even the serial early-return path one allocation.
+	var buf []float64
+	if cap(partials) >= p {
+		buf = partials[:p]
+	} else {
+		buf = make([]float64, p)
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/p, (w+1)*n/p
+			var s float64
+			if d == nil {
+				for i := lo; i < hi; i++ {
+					s += x[i] * y[i]
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					s += x[i] * d[i] * y[i]
+				}
+			}
+			buf[w] = s
+		}(w)
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+// Axpy computes y ← y + a·x. Like every Level-1 kernel here, the serial
+// branch is written out so small or single-worker calls construct no
+// escaping closure and allocate nothing.
 func Axpy(a float64, x, y []float64) {
 	checkLen(len(x), len(y))
+	if parallel.Serial(len(x)) {
+		for i := range x {
+			y[i] += a * x[i]
+		}
+		return
+	}
 	parallel.ForBlock(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			y[i] += a * x[i]
@@ -38,6 +135,12 @@ func Axpy(a float64, x, y []float64) {
 
 // Scale computes x ← a·x.
 func Scale(a float64, x []float64) {
+	if parallel.Serial(len(x)) {
+		for i := range x {
+			x[i] *= a
+		}
+		return
+	}
 	parallel.ForBlock(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] *= a
@@ -52,6 +155,12 @@ func Norm2(x []float64) float64 {
 
 // Fill sets every element of x to a.
 func Fill(x []float64, a float64) {
+	if parallel.Serial(len(x)) {
+		for i := range x {
+			x[i] = a
+		}
+		return
+	}
 	parallel.ForBlock(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] = a
@@ -62,6 +171,10 @@ func Fill(x []float64, a float64) {
 // CopyVec copies src into dst.
 func CopyVec(dst, src []float64) {
 	checkLen(len(dst), len(src))
+	if parallel.Serial(len(src)) {
+		copy(dst, src)
+		return
+	}
 	parallel.ForBlock(len(src), func(lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
@@ -72,6 +185,14 @@ func CopyVec(dst, src []float64) {
 // in Table 1).
 func MinUpdateInt32(d, b []int32) {
 	checkLen(len(d), len(b))
+	if parallel.Serial(len(d)) {
+		for i := range d {
+			if b[i] < d[i] {
+				d[i] = b[i]
+			}
+		}
+		return
+	}
 	parallel.ForBlock(len(d), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if b[i] < d[i] {
@@ -84,6 +205,12 @@ func MinUpdateInt32(d, b []int32) {
 // Int32ToFloat64 widens an int32 hop-distance vector into a float64 column.
 func Int32ToFloat64(dst []float64, src []int32) {
 	checkLen(len(dst), len(src))
+	if parallel.Serial(len(src)) {
+		for i := range src {
+			dst[i] = float64(src[i])
+		}
+		return
+	}
 	parallel.ForBlock(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = float64(src[i])

@@ -17,26 +17,50 @@ import (
 type Incremental struct {
 	n       int
 	d       []float64 // nil = plain orthogonalization
+	sc      *Scratch
+	pooled  bool
 	kept    [][]float64
 	keptDN  []float64
 	keptIdx []int
 	dropped int
 	seen    int
-	work    []float64
 }
 
 // NewIncremental starts a coupled orthogonalization over length-n vectors
 // with D-inner products diag(d) (nil for plain inner products). The
 // constant direction 1/√n is pre-seeded, exactly as in DOrthogonalize.
 func NewIncremental(n int, d []float64) *Incremental {
-	s0 := make([]float64, n)
+	return NewIncrementalScratch(n, d, nil)
+}
+
+// NewIncrementalScratch is NewIncremental running over sc's pooled
+// buffers (nil allocates private scratch). The scratch bounds the column
+// count: at most sc's s columns can be kept; columns added beyond that
+// capacity grow the scratch. With a scratch the whole coupled DOrtho
+// phase performs no O(n)-sized allocations and Result aliases scratch
+// storage (valid until the scratch's next use).
+func NewIncrementalScratch(n int, d []float64, sc *Scratch) *Incremental {
+	pooled := sc != nil
+	if !pooled {
+		// Start with room for a handful of columns; Add grows on demand.
+		sc = NewScratch(n, 8)
+	} else {
+		cols := sc.s
+		if cols < 1 {
+			cols = 1
+		}
+		sc.Ensure(n, cols)
+	}
+	s0 := sc.cols[0]
 	linalg.Fill(s0, 1/math.Sqrt(float64(n)))
 	return &Incremental{
-		n:      n,
-		d:      d,
-		kept:   [][]float64{s0},
-		keptDN: []float64{dNorm(s0, d)},
-		work:   make([]float64, n),
+		n:       n,
+		d:       d,
+		sc:      sc,
+		pooled:  pooled,
+		kept:    sc.cols[:1],
+		keptDN:  append(sc.dNorms[:0], dNormP(s0, d, sc.partials)),
+		keptIdx: sc.keptIdx[:0],
 	}
 }
 
@@ -49,34 +73,63 @@ func (inc *Incremental) Add(col []float64) bool {
 	}
 	idx := inc.seen
 	inc.seen++
-	linalg.CopyVec(inc.work, col)
-	nrm := linalg.Norm2(inc.work)
+	if len(inc.kept) == len(inc.sc.cols) {
+		inc.grow()
+	}
+	sc := inc.sc
+	work := sc.work
+	linalg.CopyVec(work, col)
+	nrm := norm2P(work, sc.partials)
 	if nrm <= DropTolerance {
 		inc.dropped++
 		return false
 	}
-	linalg.Scale(1/nrm, inc.work)
+	linalg.Scale(1/nrm, work)
 	for j := range inc.kept {
-		c := dDot(inc.kept[j], inc.work, inc.d) / inc.keptDN[j]
-		linalg.Axpy(-c, inc.kept[j], inc.work)
+		c := dDotP(inc.kept[j], work, inc.d, sc.partials) / inc.keptDN[j]
+		linalg.Axpy(-c, inc.kept[j], work)
 	}
-	res := linalg.Norm2(inc.work)
+	res := norm2P(work, sc.partials)
 	if res <= DropTolerance {
 		inc.dropped++
 		return false
 	}
-	out := make([]float64, inc.n)
-	linalg.CopyVec(out, inc.work)
+	out := sc.cols[len(inc.kept)]
+	linalg.CopyVec(out, work)
 	linalg.Scale(1/res, out)
-	inc.kept = append(inc.kept, out)
-	inc.keptDN = append(inc.keptDN, dNorm(out, inc.d))
+	inc.kept = sc.cols[:len(inc.kept)+1]
+	inc.keptDN = append(inc.keptDN, dNormP(out, inc.d, sc.partials))
 	inc.keptIdx = append(inc.keptIdx, idx)
 	return true
+}
+
+// grow doubles the scratch's column capacity, preserving kept columns
+// (only reachable on the private-scratch path or when more columns are
+// added than the pooled scratch was shaped for).
+func (inc *Incremental) grow() {
+	ns := inc.sc.s * 2
+	if ns < 4 {
+		ns = 4
+	}
+	sc := NewScratch(inc.n, ns)
+	for j := range inc.kept {
+		linalg.CopyVec(sc.cols[j], inc.kept[j])
+	}
+	sc.dNorms = append(sc.dNorms[:0], inc.keptDN...)
+	sc.keptIdx = append(sc.keptIdx[:0], inc.keptIdx...)
+	inc.kept = sc.cols[:len(inc.kept)]
+	inc.keptDN = sc.dNorms
+	inc.keptIdx = sc.keptIdx
+	inc.sc = sc
 }
 
 // Result packages the kept columns (constant column excluded) in the same
 // form DOrthogonalize returns. The Incremental must not be used after.
 func (inc *Incremental) Result() Result {
+	inc.sc.dNorms, inc.sc.keptIdx = inc.keptDN[:0], inc.keptIdx[:0]
+	if inc.pooled {
+		return inc.sc.result(inc.kept, inc.keptDN, inc.keptIdx, inc.dropped)
+	}
 	out := linalg.NewDense(inc.n, len(inc.keptIdx))
 	for j := range inc.keptIdx {
 		linalg.CopyVec(out.Col(j), inc.kept[j+1])

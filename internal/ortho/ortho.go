@@ -62,26 +62,39 @@ type Result struct {
 // Laplacian rather than degree-normalized eigenvectors). b is not
 // modified.
 func DOrthogonalize(b *linalg.Dense, d []float64, method Method) Result {
+	return DOrthogonalizeScratch(b, d, method, nil)
+}
+
+// DOrthogonalizeScratch is DOrthogonalize running over sc's pooled
+// buffers (nil allocates private scratch, equivalent to DOrthogonalize).
+// With a scratch, the phase performs no O(n)-sized allocations and the
+// returned Result aliases scratch storage: it is valid only until the
+// scratch's next use and the numbers are bit-identical to the
+// fresh-allocation run.
+func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scratch) Result {
 	n, s := b.Rows, b.Cols
+	pooled := sc != nil
+	if pooled {
+		sc.Ensure(n, s)
+	} else {
+		sc = NewScratch(n, s)
+	}
 	// s0 = 1/√n: the degenerate direction every column must be cleaned of.
-	s0 := make([]float64, n)
+	s0 := sc.cols[0]
 	linalg.Fill(s0, 1/math.Sqrt(float64(n)))
-	s0DNorm := dNorm(s0, d)
 
-	kept := make([][]float64, 0, s+1)
-	keptDN := make([]float64, 0, s+1)
-	keptIdx := make([]int, 0, s)
-	kept = append(kept, s0)
-	keptDN = append(keptDN, s0DNorm)
+	kept := sc.cols[:1]
+	keptDN := append(sc.dNorms[:0], dNormP(s0, d, sc.partials))
+	keptIdx := sc.keptIdx[:0]
 
-	work := make([]float64, n)
-	coeffs := make([]float64, 0, s+1)
+	work := sc.work
+	coeffs := sc.coeffs[:0]
 	dropped := 0
 	for i := 0; i < s; i++ {
 		linalg.CopyVec(work, b.Col(i))
 		// Pre-normalize so the drop tolerance is scale-free (Algorithm 1
 		// normalizes each column before orthogonalizing).
-		nrm := linalg.Norm2(work)
+		nrm := norm2P(work, sc.partials)
 		if nrm <= DropTolerance {
 			dropped++
 			continue
@@ -99,24 +112,30 @@ func DOrthogonalize(b *linalg.Dense, d []float64, method Method) Result {
 			}
 			subtractCombination(work, kept, coeffs)
 		default:
+			// The MGS sweep: every D-inner product reuses one partials
+			// buffer, so the s² dots of the phase allocate nothing.
 			for j := range kept {
-				c := dDot(kept[j], work, d) / keptDN[j]
+				c := dDotP(kept[j], work, d, sc.partials) / keptDN[j]
 				linalg.Axpy(-c, kept[j], work)
 			}
 		}
-		res := linalg.Norm2(work)
+		res := norm2P(work, sc.partials)
 		if res <= DropTolerance {
 			dropped++
 			continue
 		}
-		col := make([]float64, n)
+		col := sc.cols[len(kept)]
 		linalg.CopyVec(col, work)
 		linalg.Scale(1/res, col)
-		kept = append(kept, col)
-		keptDN = append(keptDN, dNorm(col, d))
+		kept = sc.cols[:len(kept)+1]
+		keptDN = append(keptDN, dNormP(col, d, sc.partials))
 		keptIdx = append(keptIdx, i)
 	}
+	sc.dNorms, sc.keptIdx, sc.coeffs = keptDN[:0], keptIdx[:0], coeffs[:0]
 
+	if pooled {
+		return sc.result(kept, keptDN, keptIdx, dropped)
+	}
 	out := linalg.NewDense(n, len(keptIdx))
 	for j := 0; j < len(keptIdx); j++ {
 		linalg.CopyVec(out.Col(j), kept[j+1]) // skip the constant column
@@ -124,7 +143,7 @@ func DOrthogonalize(b *linalg.Dense, d []float64, method Method) Result {
 	return Result{
 		S:       out,
 		DNorms:  append([]float64(nil), keptDN[1:]...),
-		Kept:    keptIdx,
+		Kept:    append([]int(nil), keptIdx...),
 		Dropped: dropped,
 	}
 }
@@ -133,6 +152,18 @@ func DOrthogonalize(b *linalg.Dense, d []float64, method Method) Result {
 // single parallel sweep (the Level-2 "gemv" update of CGS): one pass over
 // memory instead of len(kept) passes.
 func subtractCombination(work []float64, kept [][]float64, coeffs []float64) {
+	if parallel.Serial(len(work)) {
+		for j, col := range kept {
+			c := coeffs[j]
+			if c == 0 {
+				continue
+			}
+			for r := range work {
+				work[r] -= c * col[r]
+			}
+		}
+		return
+	}
 	parallel.ForBlock(len(work), func(lo, hi int) {
 		for j, col := range kept {
 			c := coeffs[j]
@@ -148,46 +179,65 @@ func subtractCombination(work []float64, kept [][]float64, coeffs []float64) {
 
 // dDotAll computes out[j] = ⟨kept[j], work⟩_D for every kept column in one
 // blocked parallel sweep (the Level-2 "gemv" coefficient step of CGS):
-// work and d are streamed once, not once per column.
+// work and d are streamed once, not once per column. Per-block partials
+// are combined serially in block order, so the result is deterministic
+// for a fixed worker count.
 func dDotAll(kept [][]float64, work, d []float64, out []float64) []float64 {
 	k := len(kept)
 	out = append(out, make([]float64, k)...)
-	var mu sync.Mutex
-	parallel.ForBlock(len(work), func(lo, hi int) {
-		local := make([]float64, k)
-		if d == nil {
-			for j, col := range kept {
-				var s float64
-				for r := lo; r < hi; r++ {
-					s += col[r] * work[r]
+	nb := linalg.ReduceBlocks(len(work))
+	partials := make([]float64, nb*k)
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	n := len(work)
+	for w := 0; w < nb; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/nb, (w+1)*n/nb
+			local := partials[w*k : (w+1)*k]
+			if d == nil {
+				for j, col := range kept {
+					var s float64
+					for r := lo; r < hi; r++ {
+						s += col[r] * work[r]
+					}
+					local[j] = s
 				}
-				local[j] = s
-			}
-		} else {
-			for j, col := range kept {
-				var s float64
-				for r := lo; r < hi; r++ {
-					s += col[r] * d[r] * work[r]
+			} else {
+				for j, col := range kept {
+					var s float64
+					for r := lo; r < hi; r++ {
+						s += col[r] * d[r] * work[r]
+					}
+					local[j] = s
 				}
-				local[j] = s
 			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < nb; w++ {
+		for j := 0; j < k; j++ {
+			out[j] += partials[w*k+j]
 		}
-		mu.Lock()
-		for j := range local {
-			out[j] += local[j]
-		}
-		mu.Unlock()
-	})
+	}
 	return out
 }
 
-func dDot(x, y, d []float64) float64 {
+// dDotP computes ⟨x,y⟩ or ⟨x,y⟩_D reusing the given reduction-partials
+// buffer; results are bit-identical to linalg.Dot / linalg.DDot.
+func dDotP(x, y, d, partials []float64) float64 {
 	if d == nil {
-		return linalg.Dot(x, y)
+		return linalg.DotWith(x, y, partials)
 	}
-	return linalg.DDot(x, d, y)
+	return linalg.DDotWith(x, d, y, partials)
 }
 
-func dNorm(x, d []float64) float64 {
-	return dDot(x, x, d)
+// dNormP computes ⟨x,x⟩_D with the shared partials buffer.
+func dNormP(x, d, partials []float64) float64 {
+	return dDotP(x, x, d, partials)
+}
+
+// norm2P computes ‖x‖₂ with the shared partials buffer.
+func norm2P(x, partials []float64) float64 {
+	return math.Sqrt(linalg.DotWith(x, x, partials))
 }

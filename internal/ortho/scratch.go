@@ -1,0 +1,89 @@
+package ortho
+
+import (
+	"repro/internal/linalg"
+)
+
+// Scratch owns the DOrtho phase's reusable storage: the kept-column arena
+// (s+1 length-n columns — the constant direction plus up to s survivors),
+// the working vector, the output matrix backing Result.S, and the
+// reduction-partials buffer every D-inner product of the MGS sweep reuses
+// instead of allocating per dot product. One Scratch serves both
+// DOrthogonalizeScratch and NewIncrementalScratch; a pooled workspace
+// keeps one per (n, s) shape.
+//
+// Results produced through a Scratch alias its storage (Result.S, DNorms,
+// Kept), so they are valid only until the Scratch's next use.
+type Scratch struct {
+	n, s     int
+	arena    []float64   // (s+1)·n backing for kept columns
+	cols     [][]float64 // views into arena, rebuilt on ensure
+	work     []float64
+	partials []float64 // reduction partials shared by every dot in a sweep
+	coeffs   []float64 // CGS coefficient vector
+	sOut     *linalg.Dense
+	dNorms   []float64
+	keptIdx  []int
+}
+
+// NewScratch returns orthogonalization scratch for up to s length-n
+// input columns.
+func NewScratch(n, s int) *Scratch {
+	sc := &Scratch{}
+	sc.Ensure(n, s)
+	return sc
+}
+
+// Ensure grows the scratch to cover (n, s); sufficient buffers are kept,
+// so same-shape reuse touches no allocator.
+func (sc *Scratch) Ensure(n, s int) {
+	if sc.n == n && sc.s >= s {
+		return
+	}
+	if cap(sc.arena) < (s+1)*n {
+		sc.arena = make([]float64, (s+1)*n)
+	}
+	sc.arena = sc.arena[:(s+1)*n]
+	if cap(sc.cols) < s+1 {
+		sc.cols = make([][]float64, 0, s+1)
+	}
+	sc.cols = sc.cols[:s+1]
+	for j := range sc.cols {
+		sc.cols[j] = sc.arena[j*n : (j+1)*n]
+	}
+	if cap(sc.work) < n {
+		sc.work = make([]float64, n)
+	}
+	sc.work = sc.work[:n]
+	if p := linalg.ReduceBlocks(n); cap(sc.partials) < p {
+		sc.partials = make([]float64, p)
+	}
+	if cap(sc.coeffs) < s+1 {
+		sc.coeffs = make([]float64, 0, s+1)
+	}
+	if sc.sOut == nil || sc.sOut.Rows != n || sc.sOut.Cols < s {
+		sc.sOut = linalg.NewDense(n, s)
+	}
+	if cap(sc.dNorms) < s+1 {
+		sc.dNorms = make([]float64, 0, s+1)
+	}
+	if cap(sc.keptIdx) < s {
+		sc.keptIdx = make([]int, 0, s)
+	}
+	sc.n, sc.s = n, s
+}
+
+// result packages the kept arena columns (constant column excluded) as a
+// Result aliasing the scratch's output storage.
+func (sc *Scratch) result(kept [][]float64, keptDN []float64, keptIdx []int, dropped int) Result {
+	out := linalg.ViewDense(sc.sOut.Data, sc.n, len(keptIdx))
+	for j := range keptIdx {
+		linalg.CopyVec(out.Col(j), kept[j+1]) // skip the constant column
+	}
+	return Result{
+		S:       out,
+		DNorms:  keptDN[1:],
+		Kept:    keptIdx,
+		Dropped: dropped,
+	}
+}

@@ -22,6 +22,16 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Serial reports whether a length-n loop will run on one worker. Hot
+// kernels branch on it to run a plain loop instead of calling For /
+// ForBlock: a func literal passed to those escapes to the heap (its
+// parameter flows into goroutines), so skipping the call skips the
+// closure allocation — the difference between a steady-state
+// allocation-free kernel and one that allocates per invocation.
+func Serial(n int) bool {
+	return Workers() <= 1 || n < 2*MinGrain
+}
+
 // For executes body(i) for every i in [0, n) using up to Workers()
 // goroutines. Iterations are divided into contiguous blocks (one per
 // worker) so that memory access within a worker stays sequential, matching
@@ -166,6 +176,15 @@ func MaxIndexInt32(n int, key func(i int) int32) int {
 		idx int
 		val int32
 	}
+	if Serial(n) {
+		best := im{0, key(0)}
+		for i := 1; i < n; i++ {
+			if v := key(i); v > best.val {
+				best = im{i, v}
+			}
+		}
+		return best.idx
+	}
 	partials := reduceBlocks(n, func(lo, hi int) im {
 		best := im{lo, key(lo)}
 		for i := lo + 1; i < hi; i++ {
@@ -190,6 +209,15 @@ func MaxIndexFloat64(n int, key func(i int) float64) int {
 		idx int
 		val float64
 	}
+	if Serial(n) {
+		best := im{0, key(0)}
+		for i := 1; i < n; i++ {
+			if v := key(i); v > best.val {
+				best = im{i, v}
+			}
+		}
+		return best.idx
+	}
 	partials := reduceBlocks(n, func(lo, hi int) im {
 		best := im{lo, key(lo)}
 		for i := lo + 1; i < hi; i++ {
@@ -206,6 +234,23 @@ func MaxIndexFloat64(n int, key func(i int) float64) int {
 		}
 	}
 	return best.idx
+}
+
+// ArgmaxInt32 returns the index of the maximum element of x, ties broken
+// toward the smallest index — the same deterministic rule as
+// MaxIndexInt32, but over a slice so no per-call key closure is needed
+// and the serial path allocates nothing.
+func ArgmaxInt32(x []int32) int {
+	if Serial(len(x)) {
+		best, bv := 0, x[0]
+		for i := 1; i < len(x); i++ {
+			if x[i] > bv {
+				best, bv = i, x[i]
+			}
+		}
+		return best
+	}
+	return MaxIndexInt32(len(x), func(i int) int32 { return x[i] })
 }
 
 // reduceBlocks runs block(lo, hi) over one contiguous block per worker and

@@ -53,7 +53,10 @@ func (a Algorithm) String() string {
 type Config struct {
 	Algorithm Algorithm
 	// Layout passes through to the engine (subspace dimension, pivots,
-	// orthogonalization, seed, …).
+	// orthogonalization, seed, …). Layout.Workspace is honored for the
+	// algorithms that run core.ParHDECtx directly; a workspace-backed
+	// result aliases workspace storage, so callers that retain it across
+	// runs must Clone it first (see internal/workspace).
 	Layout core.Options
 	// Coarsen configures the Multilevel hierarchy (ignored otherwise).
 	Coarsen coarsen.Options

@@ -53,12 +53,54 @@ type PhaseStats struct {
 	ScannedEdges int64
 }
 
+// Scratch bundles the reusable buffers of the k-centers BFS phase: the
+// traversal scratch plus the per-pivot hop vector and the running
+// minimum-distance vector that drives farthest-first source selection. A
+// pooled workspace owns one and hands it to PhaseScratch so repeated
+// layouts on same-shaped graphs re-pay no BFS-phase allocations.
+type Scratch struct {
+	// BFS is the frontier/queue scratch shared by all s traversals.
+	BFS *bfs.Scratch
+	// Dist receives each traversal's hop distances (length ≥ n).
+	Dist []int32
+	// DMin tracks min distance to all previous sources (length ≥ n).
+	DMin []int32
+}
+
+// NewScratch returns BFS-phase scratch for n-vertex graphs.
+func NewScratch(n int) *Scratch {
+	sc := &Scratch{}
+	sc.Ensure(n)
+	return sc
+}
+
+// Ensure grows the scratch to cover n vertices; sufficient buffers are
+// kept, so same-shape reuse touches no allocator.
+func (sc *Scratch) Ensure(n int) {
+	if sc.BFS == nil {
+		sc.BFS = bfs.NewScratch(n, parallel.Workers())
+	}
+	if cap(sc.Dist) < n {
+		sc.Dist = make([]int32, n)
+		sc.DMin = make([]int32, n)
+	}
+	sc.Dist, sc.DMin = sc.Dist[:n], sc.DMin[:n]
+}
+
 // Phase runs the complete BFS phase: s traversals from pivots chosen by
 // the given strategy, writing hop distances into the n×s column-major
 // matrix b. Unreachable is impossible by precondition (connected graph).
 // start is the randomly-chosen first vertex (Algorithm 3, line 4); timers
 // for traversal vs. other work are accumulated via the optional hooks.
 func Phase(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.Options, onTraversal, onOther func(f func())) PhaseStats {
+	return PhaseScratch(g, b, start, strat, opt, nil, onTraversal, onOther)
+}
+
+// PhaseScratch is Phase running over sc's pooled buffers (nil allocates
+// fresh ones, equivalent to Phase). Only the default k-centers strategy
+// consumes the scratch — the random strategies keep their per-worker
+// private distance vectors — and results are bit-identical either way.
+func PhaseScratch(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	if onTraversal == nil {
 		onTraversal = func(f func()) { f() }
 	}
@@ -71,33 +113,52 @@ func Phase(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.O
 	case RandomMS:
 		return randomMSPhase(g, b, start, onTraversal, onOther)
 	default:
-		return kCentersPhase(g, b, start, opt, onTraversal, onOther)
+		return kCentersPhase(g, b, start, opt, sc, onTraversal, onOther)
 	}
 }
 
-func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, onTraversal, onOther func(f func())) PhaseStats {
+func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	n := g.NumV
 	s := b.Cols
-	runner := bfs.NewRunner(g, opt)
-	dist := make([]int32, n)
-	dmin := make([]int32, n)
-	parallel.For(n, func(i int) { dmin[i] = int32(1) << 30 })
+	if sc == nil {
+		sc = NewScratch(n)
+	} else {
+		sc.Ensure(n)
+	}
+	runner := bfs.NewRunnerScratch(g, opt, sc.BFS)
+	dist, dmin := sc.Dist, sc.DMin
+	if parallel.Serial(n) {
+		for i := range dmin {
+			dmin[i] = int32(1) << 30
+		}
+	} else {
+		parallel.For(n, func(i int) { dmin[i] = int32(1) << 30 })
+	}
 
-	st := PhaseStats{Sources: make([]int32, 0, s)}
+	st := PhaseStats{
+		Sources:   make([]int32, 0, s),
+		Traversal: make([]bfs.Stats, 0, s),
+	}
 	src := start
-	for i := 0; i < s; i++ {
+	// The timing hooks' closures are hoisted out of the pivot loop (and
+	// read their loop state through captured variables) so the
+	// steady-state loop body allocates nothing.
+	var i int
+	var ts bfs.Stats
+	traverse := func() { ts = runner.Distances(src, dist) }
+	other := func() {
+		linalg.Int32ToFloat64(b.Col(i), dist)
+		// d(j) ← min(d(j), b_i(j)); next source = farthest vertex from
+		// all previous sources (lines 13-15 of Algorithm 1).
+		linalg.MinUpdateInt32(dmin, dist)
+		src = int32(parallel.ArgmaxInt32(dmin))
+	}
+	for i = 0; i < s; i++ {
 		st.Sources = append(st.Sources, src)
-		var ts bfs.Stats
-		onTraversal(func() { ts = runner.Distances(src, dist) })
+		onTraversal(traverse)
 		st.Traversal = append(st.Traversal, ts)
 		st.ScannedEdges += ts.ScannedEdges
-		onOther(func() {
-			linalg.Int32ToFloat64(b.Col(i), dist)
-			// d(j) ← min(d(j), b_i(j)); next source = farthest vertex from
-			// all previous sources (lines 13-15 of Algorithm 1).
-			linalg.MinUpdateInt32(dmin, dist)
-			src = int32(parallel.MaxIndexInt32(n, func(j int) int32 { return dmin[j] }))
-		})
+		onOther(other)
 	}
 	return st
 }

@@ -1,0 +1,64 @@
+package workspace
+
+import (
+	"testing"
+)
+
+func TestReshapeGrowsAndRetains(t *testing.T) {
+	ws := New()
+	ws.Reshape(100, 4, 2)
+	if len(ws.Col) != 100 || ws.B.Rows != 100 || ws.B.Cols != 4 {
+		t.Fatalf("after Reshape(100,4,2): col %d, B %dx%d", len(ws.Col), ws.B.Rows, ws.B.Cols)
+	}
+	if got := len(ws.Coords); got != 200 {
+		t.Fatalf("coords len %d, want 200", got)
+	}
+	// Growing reallocates; shrinking must reslice the same backing array.
+	ws.Reshape(500, 8, 2)
+	big := &ws.Col[0]
+	ws.Reshape(50, 2, 2)
+	if len(ws.Col) != 50 {
+		t.Fatalf("col len %d after shrink", len(ws.Col))
+	}
+	if &ws.Col[0] != big {
+		t.Fatal("shrinking Reshape reallocated instead of reslicing")
+	}
+}
+
+func TestDistViewAliasesB(t *testing.T) {
+	ws := New()
+	ws.Reshape(10, 3, 2)
+	v := ws.DistView(10, 3)
+	v.Col(2)[9] = 42
+	if ws.B.At(9, 2) != 42 {
+		t.Fatal("DistView does not alias the workspace distance matrix")
+	}
+}
+
+func TestPoolRecyclesByShape(t *testing.T) {
+	p := NewPool()
+	ws := p.Get(100, 200, 4, 2)
+	if len(ws.Col) != 100 {
+		t.Fatalf("pooled workspace not reshaped: col len %d", len(ws.Col))
+	}
+	ws.Col[0] = 7 // dirty it
+	ws.Release()
+	again := p.Get(100, 200, 4, 2)
+	// sync.Pool gives no guarantee, but single-goroutine get-put-get on
+	// one bucket recycles in practice; either way the shape must hold.
+	if len(again.Col) != 100 || again.B.Cols != 4 {
+		t.Fatalf("recycled workspace misshapen: col %d, B cols %d", len(again.Col), again.B.Cols)
+	}
+	other := p.Get(100, 300, 4, 2) // different m: distinct bucket
+	if other == again {
+		t.Fatal("workspaces with different shapes shared one pool bucket")
+	}
+	again.Release()
+	other.Release()
+}
+
+func TestReleaseWithoutPoolIsNoop(t *testing.T) {
+	ws := New()
+	ws.Reshape(10, 2, 2)
+	ws.Release() // must not panic
+}

@@ -39,7 +39,7 @@ func run() error {
 		algo     = flag.String("algo", "parhde", "algorithm: parhde, phde, pivotmds, prior, multilevel")
 		s        = flag.Int("s", 50, "subspace dimension (number of pivots)")
 		pivots   = flag.String("pivots", "kcenters", "pivot strategy: kcenters, random")
-		orthoM   = flag.String("ortho", "mgs", "orthogonalization: mgs, cgs")
+		orthoM   = flag.String("ortho", "mgs", "orthogonalization: mgs, cgs, mgs-l1")
 		plain    = flag.Bool("plain", false, "plain orthogonalization instead of D-orthogonalization")
 		weighted = flag.Bool("weighted", false, "keep edge weights and use Δ-stepping SSSP")
 		delta    = flag.Float64("delta", 0, "Δ-stepping bucket width (0 = heuristic)")
@@ -71,8 +71,11 @@ func run() error {
 	if *pivots == "random" {
 		opt.Pivots = pivot.Random
 	}
-	if *orthoM == "cgs" {
+	switch *orthoM {
+	case "cgs":
 		opt.Ortho = ortho.CGS
+	case "mgs-l1":
+		opt.Ortho = ortho.MGSLevel1
 	}
 	opt.PlainOrtho = *plain
 

@@ -20,6 +20,15 @@ import (
 // dists must have one row (length NumV) per source. Unreached vertices
 // keep Unreached.
 func MSBFS(g *graph.CSR, sources []int32, dists [][]int32) Stats {
+	return MSBFSScratch(g, sources, dists, nil)
+}
+
+// MSBFSScratch is MSBFS running over sc's pooled mask buffers (nil
+// allocates fresh ones, equivalent to MSBFS). With a scratch the
+// traversal performs no O(n)-sized allocations, and on one worker the
+// whole call is allocation-free: every level loop has a plain serial
+// body, so no closure ever escapes.
+func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) Stats {
 	if len(sources) > 64 {
 		panic("bfs: MSBFS supports at most 64 sources per batch")
 	}
@@ -27,13 +36,33 @@ func MSBFS(g *graph.CSR, sources []int32, dists [][]int32) Stats {
 		panic("bfs: MSBFS needs one distance row per source")
 	}
 	n := g.NumV
+	serial := parallel.Serial(n)
 	for s := range sources {
 		d := dists[s]
-		parallel.For(n, func(i int) { d[i] = Unreached })
+		if serial {
+			for i := range d {
+				d[i] = Unreached
+			}
+		} else {
+			parallel.For(n, func(i int) { d[i] = Unreached })
+		}
 	}
-	seen := make([]uint64, n)     // searches that have reached each vertex
-	frontier := make([]uint64, n) // searches whose current level includes the vertex
-	next := make([]uint64, n)
+	var seen, frontier, next []uint64
+	if sc != nil {
+		sc.ensureMS(n)
+		seen, frontier, next = sc.msSeen, sc.msFront, sc.msNext
+		if serial {
+			for i := 0; i < n; i++ {
+				seen[i], frontier[i], next[i] = 0, 0, 0
+			}
+		} else {
+			parallel.For(n, func(i int) { seen[i], frontier[i], next[i] = 0, 0, 0 })
+		}
+	} else {
+		seen = make([]uint64, n)     // searches that have reached each vertex
+		frontier = make([]uint64, n) // searches whose current level includes the vertex
+		next = make([]uint64, n)
+	}
 
 	for s, src := range sources {
 		bit := uint64(1) << uint(s)
@@ -45,49 +74,84 @@ func MSBFS(g *graph.CSR, sources []int32, dists [][]int32) Stats {
 	var st Stats
 	level := int32(0)
 	active := true
+	// The parallel level body is hoisted out of the loop (reading its
+	// level state through captured variables) so the per-level closure is
+	// constructed once per traversal, not once per level.
+	var scanned, any int64
+	step := func(lo, hi int) {
+		var localScan int64
+		var localAny int64
+		for v := lo; v < hi; v++ {
+			f := frontier[v]
+			if f == 0 {
+				continue
+			}
+			adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+			localScan += int64(len(adj))
+			for _, u := range adj {
+				// Searches in f that have not yet reached u.
+				for {
+					old := atomic.LoadUint64(&seen[u])
+					newBits := f &^ old
+					if newBits == 0 {
+						break
+					}
+					if atomic.CompareAndSwapUint64(&seen[u], old, old|newBits) {
+						// Claimed newBits for u: record distances and
+						// queue u for those searches.
+						for b := newBits; b != 0; b &= b - 1 {
+							dists[bits.TrailingZeros64(b)][u] = level
+						}
+						atomicOr(&next[u], newBits)
+						localAny = 1
+						break
+					}
+				}
+			}
+		}
+		atomic.AddInt64(&scanned, localScan)
+		atomic.AddInt64(&any, localAny)
+	}
+	clearNext := func(i int) { next[i] = 0 }
 	for active {
 		st.Levels++
 		level++
-		var scanned int64
-		var any int64
-		parallel.ForBlock(n, func(lo, hi int) {
-			var localScan int64
-			var localAny int64
-			for v := lo; v < hi; v++ {
+		scanned, any = 0, 0
+		if serial {
+			// Plain single-worker sweep: no atomics, no closures.
+			for v := 0; v < n; v++ {
 				f := frontier[v]
 				if f == 0 {
 					continue
 				}
 				adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
-				localScan += int64(len(adj))
+				scanned += int64(len(adj))
 				for _, u := range adj {
-					// Searches in f that have not yet reached u.
-					for {
-						old := atomic.LoadUint64(&seen[u])
-						newBits := f &^ old
-						if newBits == 0 {
-							break
-						}
-						if atomic.CompareAndSwapUint64(&seen[u], old, old|newBits) {
-							// Claimed newBits for u: record distances and
-							// queue u for those searches.
-							for b := newBits; b != 0; b &= b - 1 {
-								dists[bits.TrailingZeros64(b)][u] = level
-							}
-							atomicOr(&next[u], newBits)
-							localAny = 1
-							break
-						}
+					newBits := f &^ seen[u]
+					if newBits == 0 {
+						continue
 					}
+					seen[u] |= newBits
+					for b := newBits; b != 0; b &= b - 1 {
+						dists[bits.TrailingZeros64(b)][u] = level
+					}
+					next[u] |= newBits
+					any = 1
 				}
 			}
-			atomic.AddInt64(&scanned, localScan)
-			atomic.AddInt64(&any, localAny)
-		})
+		} else {
+			parallel.ForBlock(n, step)
+		}
 		st.ScannedEdges += scanned
 		st.TopDownSteps++
 		frontier, next = next, frontier
-		parallel.For(n, func(i int) { next[i] = 0 })
+		if serial {
+			for i := range next {
+				next[i] = 0
+			}
+		} else {
+			parallel.For(n, clearNext)
+		}
 		active = any != 0
 	}
 	st.Levels-- // last round discovered nothing

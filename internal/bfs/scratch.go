@@ -11,6 +11,12 @@ type Scratch struct {
 	next  *Bitmap
 	queue []int32
 	nextQ [][]int32
+	// Multi-source traversal state: per-vertex 64-bit search masks. Only
+	// allocated once an MSBFSScratch call arrives (the single-source
+	// runner never touches them).
+	msSeen  []uint64
+	msFront []uint64
+	msNext  []uint64
 }
 
 // NewScratch returns traversal scratch sized for n-vertex graphs and the
@@ -37,4 +43,14 @@ func (sc *Scratch) ensure(n, workers int) {
 		copy(nq, sc.nextQ)
 		sc.nextQ = nq
 	}
+}
+
+// ensureMS grows the multi-source mask buffers to cover n vertices.
+func (sc *Scratch) ensureMS(n int) {
+	if cap(sc.msSeen) < n {
+		sc.msSeen = make([]uint64, n)
+		sc.msFront = make([]uint64, n)
+		sc.msNext = make([]uint64, n)
+	}
+	sc.msSeen, sc.msFront, sc.msNext = sc.msSeen[:n], sc.msFront[:n], sc.msNext[:n]
 }

@@ -42,6 +42,7 @@ func TestWorkspaceReuseBitIdentical(t *testing.T) {
 		{"tiled", Options{LS: LSTiled}},
 		{"columnwise", Options{LS: LSColumnWise}},
 		{"random-pivots", Options{Pivots: pivot.Random}},
+		{"random-ms-pivots", Options{Pivots: pivot.RandomMS}},
 	}
 	ws := workspace.New()
 	for _, s := range []int{4, 10, 24} {
@@ -126,6 +127,7 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	for name, opt := range map[string]Options{
 		"parhde_decoupled": {Subspace: 10, Seed: 3, SkipConnectivityCheck: true},
 		"parhde_coupled":   {Subspace: 10, Seed: 3, SkipConnectivityCheck: true, Coupled: true},
+		"parhde_random_ms": {Subspace: 10, Seed: 3, SkipConnectivityCheck: true, Pivots: pivot.RandomMS},
 	} {
 		t.Run(name, func(t *testing.T) {
 			want, ok := budget.SteadyState[name]

@@ -330,9 +330,9 @@ func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []f
 	var ts bfs.Stats
 	traverse := func() { ts = runner.Distances(src, dist) }
 	other := func() {
-		linalg.Int32ToFloat64(col, dist)
-		linalg.MinUpdateInt32(dmin, dist)
-		src = int32(parallel.ArgmaxInt32(dmin))
+		// Fused widen + min-update + argmax: one pass over the distance
+		// vector instead of three.
+		src = int32(linalg.WidenMinArgmax(col, dmin, dist))
 	}
 	addCol := func() { inc.Add(col) }
 	for i := 0; i < s; i++ {

@@ -83,7 +83,14 @@ func sortAdjRange(adj []int32, wts []float64, lo, hi int64) {
 // the given seed (Fisher–Yates over a splitmix64 stream, matching the
 // generator package's RNG so experiments are reproducible end to end).
 func RandomPermutation(n int, seed uint64) []int32 {
-	perm := make([]int32, n)
+	return RandomPermutationInto(make([]int32, n), seed)
+}
+
+// RandomPermutationInto is RandomPermutation writing into the caller's
+// slice (its length fixes n), so pooled workspaces can draw pivots
+// without allocating.
+func RandomPermutationInto(perm []int32, seed uint64) []int32 {
+	n := len(perm)
 	for i := range perm {
 		perm[i] = int32(i)
 	}

@@ -1,0 +1,240 @@
+//go:build perf
+
+// Package kernelbench is the perf-tagged kernel-regression harness: it
+// benchmarks the blocked/fused kernels against their naive references and
+// gates CI on the speedup ratios recorded in perf/kernel_budget.json.
+// Ratios (blocked time vs reference time on the same machine, same run)
+// are machine-portable in a way absolute ns/op numbers are not, so the
+// gate travels between laptops and CI runners without re-baselining.
+// Build-tagged `perf` to keep the tier-1 `go test ./...` fast and
+// non-flaky; CI runs it as a dedicated gate step:
+//
+//	go test -tags perf -count=1 -v ./internal/kernelbench/
+package kernelbench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/ortho"
+)
+
+// kernelBudget mirrors perf/kernel_budget.json.
+type kernelBudget struct {
+	Comment string  `json:"comment"`
+	Margin  float64 `json:"margin"`
+	Kernels map[string]struct {
+		BaselineSpeedup float64 `json:"baseline_speedup"`
+	} `json:"kernels"`
+}
+
+func loadBudget(t *testing.T) kernelBudget {
+	t.Helper()
+	b, err := os.ReadFile("../../perf/kernel_budget.json")
+	if err != nil {
+		t.Fatalf("reading kernel budget: %v", err)
+	}
+	var budget kernelBudget
+	if err := json.Unmarshal(b, &budget); err != nil {
+		t.Fatalf("decoding kernel budget: %v", err)
+	}
+	if budget.Margin <= 0 || budget.Margin >= 1 {
+		t.Fatalf("kernel budget margin %v out of (0,1)", budget.Margin)
+	}
+	return budget
+}
+
+// minTime returns the fastest of reps timings of f — the standard
+// minimum-of-repetitions estimator, robust to scheduling noise.
+func minTime(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func randDense(n, s int, seed int64) *linalg.Dense {
+	r := rand.New(rand.NewSource(seed))
+	m := linalg.NewDense(n, s)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+// TestKernelBudgetGate measures each optimized kernel against its naive
+// reference and fails when the speedup falls below baseline·margin (a
+// >15% regression at the default margin 0.85). GOMAXPROCS is pinned to 1
+// so the ratio reflects per-core kernel quality, not the parallel
+// scheduler.
+func TestKernelBudgetGate(t *testing.T) {
+	budget := loadBudget(t)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	check := func(name string, speedup float64) {
+		t.Helper()
+		want, ok := budget.Kernels[name]
+		if !ok {
+			t.Fatalf("no kernel budget entry for %q", name)
+		}
+		floor := want.BaselineSpeedup * budget.Margin
+		t.Logf("%s: speedup %.2fx (baseline %.2fx, floor %.2fx)", name, speedup, want.BaselineSpeedup, floor)
+		if speedup < floor {
+			t.Errorf("%s: speedup %.2fx below floor %.2fx — if the regression is intentional, lower perf/kernel_budget.json", name, speedup, floor)
+		}
+	}
+
+	const reps = 5
+
+	// Blocked 4×2 AtB vs the unblocked reference (TripleProd's Z = SᵀP).
+	{
+		n, s := 1<<16, 48
+		a, b := randDense(n, s, 1), randDense(n, s, 2)
+		c := linalg.NewDense(s, s)
+		tBlocked := minTime(reps, func() { linalg.AtBInto(a, b, c, nil) })
+		tNaive := minTime(reps, func() { linalg.AtBNaiveInto(a, b, c, nil) })
+		check("atb_blocked_vs_naive", float64(tNaive)/float64(tBlocked))
+	}
+
+	// Panel-blocked Gram-Schmidt vs the unblocked Level-1 sweep (DOrtho).
+	{
+		n, s := 1<<17, 48
+		b := randDense(n, s, 3)
+		d := make([]float64, n)
+		r := rand.New(rand.NewSource(4))
+		for i := range d {
+			d[i] = 1 + float64(r.Intn(20))
+		}
+		sc := ortho.NewScratch(n, s)
+		tPanel := minTime(reps, func() { ortho.DOrthogonalizeScratch(b, d, ortho.MGS, sc) })
+		tL1 := minTime(reps, func() { ortho.DOrthogonalizeScratch(b, d, ortho.MGSLevel1, sc) })
+		check("panel_mgs_vs_level1", float64(tL1)/float64(tPanel))
+	}
+
+	// Fused widen+min+argmax vs the three-pass sequence (BFS bookkeeping).
+	{
+		n := 1 << 20
+		src := make([]int32, n)
+		dmin := make([]int32, n)
+		dst := make([]float64, n)
+		r := rand.New(rand.NewSource(5))
+		for i := range src {
+			src[i] = int32(r.Intn(1 << 20))
+		}
+		reset := func() {
+			for i := range dmin {
+				dmin[i] = int32(1) << 30
+			}
+		}
+		reset()
+		tFused := minTime(reps, func() { linalg.WidenMinArgmax(dst, dmin, src) })
+		reset()
+		tUnfused := minTime(reps, func() {
+			linalg.Int32ToFloat64(dst, src)
+			linalg.MinUpdateInt32(dmin, src)
+			_ = parallelArgmax(dmin)
+		})
+		check("fused_widen_vs_unfused", float64(tUnfused)/float64(tFused))
+	}
+}
+
+// parallelArgmax mirrors the pre-fusion argmax pass (serial here because
+// the gate pins one core; parallel.ArgmaxInt32 takes the same path).
+func parallelArgmax(v []int32) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BenchmarkAtBBlocked / BenchmarkAtBNaive are the raw microbenchmarks
+// behind the gate's first ratio; run with
+// go test -tags perf -bench AtB ./internal/kernelbench/.
+func BenchmarkAtBBlocked(b *testing.B) {
+	n, s := 1<<16, 48
+	x, y := randDense(n, s, 1), randDense(n, s, 2)
+	c := linalg.NewDense(s, s)
+	b.SetBytes(int64(2 * n * s * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.AtBInto(x, y, c, nil)
+	}
+}
+
+func BenchmarkAtBNaive(b *testing.B) {
+	n, s := 1<<16, 48
+	x, y := randDense(n, s, 1), randDense(n, s, 2)
+	c := linalg.NewDense(s, s)
+	b.SetBytes(int64(2 * n * s * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.AtBNaiveInto(x, y, c, nil)
+	}
+}
+
+func benchmarkDOrtho(b *testing.B, method ortho.Method) {
+	n, s := 1<<15, 48
+	m := randDense(n, s, 3)
+	d := make([]float64, n)
+	r := rand.New(rand.NewSource(4))
+	for i := range d {
+		d[i] = 1 + float64(r.Intn(20))
+	}
+	sc := ortho.NewScratch(n, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ortho.DOrthogonalizeScratch(m, d, method, sc)
+	}
+}
+
+func BenchmarkPanelMGS(b *testing.B)  { benchmarkDOrtho(b, ortho.MGS) }
+func BenchmarkLevel1MGS(b *testing.B) { benchmarkDOrtho(b, ortho.MGSLevel1) }
+func BenchmarkCGSLevel2(b *testing.B) { benchmarkDOrtho(b, ortho.CGS) }
+
+func BenchmarkWidenMinArgmaxFused(b *testing.B) {
+	n := 1 << 20
+	src := make([]int32, n)
+	dmin := make([]int32, n)
+	dst := make([]float64, n)
+	r := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = int32(r.Intn(1 << 20))
+	}
+	b.SetBytes(int64(n * (4 + 4 + 8)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.WidenMinArgmax(dst, dmin, src)
+	}
+}
+
+func BenchmarkWidenMinArgmaxUnfused(b *testing.B) {
+	n := 1 << 20
+	src := make([]int32, n)
+	dmin := make([]int32, n)
+	dst := make([]float64, n)
+	r := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = int32(r.Intn(1 << 20))
+	}
+	b.SetBytes(int64(n * (4 + 4 + 8)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.Int32ToFloat64(dst, src)
+		linalg.MinUpdateInt32(dmin, src)
+		_ = parallelArgmax(dmin)
+	}
+}

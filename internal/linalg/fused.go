@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Fused elementwise kernels. The BFS-phase bookkeeping and the DOrtho
+// column hand-off were built from single-purpose Level-1 passes (widen,
+// min-update, argmax, copy, scale), each streaming the same n-length
+// vectors again; at layout scale those phases are pure memory traffic, so
+// the fused forms here do the combined job in one pass.
+
+// WidenMinArgmax fuses the per-pivot bookkeeping of the k-centers BFS
+// loop: dst[i] = float64(src[i]), dmin[i] = min(dmin[i], src[i]), and the
+// return value is the index of the maximum of the updated dmin (ties
+// toward the smallest index, matching parallel.ArgmaxInt32). One pass
+// over memory instead of the three the unfused widen → min-update →
+// argmax sequence performs, with identical results.
+func WidenMinArgmax(dst []float64, dmin, src []int32) int {
+	checkLen(len(dst), len(src))
+	checkLen(len(dmin), len(src))
+	n := len(src)
+	nb := ReduceBlocks(n)
+	if nb == 1 {
+		best, bv := 0, int32(-1<<31)
+		for i := 0; i < n; i++ {
+			v := src[i]
+			dst[i] = float64(v)
+			if v < dmin[i] {
+				dmin[i] = v
+			}
+			if dmin[i] > bv {
+				best, bv = i, dmin[i]
+			}
+		}
+		return best
+	}
+	idxs := make([]int, nb)
+	vals := make([]int32, nb)
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for w := 0; w < nb; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/nb, (w+1)*n/nb
+			best, bv := lo, int32(-1<<31)
+			for i := lo; i < hi; i++ {
+				v := src[i]
+				dst[i] = float64(v)
+				if v < dmin[i] {
+					dmin[i] = v
+				}
+				if dmin[i] > bv {
+					best, bv = i, dmin[i]
+				}
+			}
+			idxs[w], vals[w] = best, bv
+		}(w)
+	}
+	wg.Wait()
+	best, bv := idxs[0], vals[0]
+	for w := 1; w < nb; w++ {
+		if vals[w] > bv {
+			best, bv = idxs[w], vals[w]
+		}
+	}
+	return best
+}
+
+// ScaledCopy computes dst[i] = a·src[i] in one pass — the fused form of
+// CopyVec followed by Scale.
+func ScaledCopy(dst, src []float64, a float64) {
+	checkLen(len(dst), len(src))
+	if parallel.Serial(len(src)) {
+		for i, v := range src {
+			dst[i] = a * v
+		}
+		return
+	}
+	parallel.ForBlock(len(src), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a * src[i]
+		}
+	})
+}
+
+// ScaledCopyDDot computes dst[i] = a·src[i] and returns dstᵀdiag(d)dst
+// (plain dstᵀdst when d is nil) in the same pass: the fused form of the
+// DOrtho keep step, which previously copied, scaled, and then re-streamed
+// the column a third time for its D-norm. partials is the reduction
+// buffer (capacity ≥ ReduceBlocks(n), grown when short); the block
+// partition and serial in-order combine match DotWith/DDotWith.
+func ScaledCopyDDot(dst, src, d []float64, a float64, partials []float64) float64 {
+	checkLen(len(dst), len(src))
+	if d != nil {
+		checkLen(len(d), len(src))
+	}
+	n := len(src)
+	nb := ReduceBlocks(n)
+	if nb == 1 {
+		return scaledCopyDDotRange(dst, src, d, a, 0, n)
+	}
+	var buf []float64
+	if cap(partials) >= nb {
+		buf = partials[:nb]
+	} else {
+		buf = make([]float64, nb)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for w := 0; w < nb; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf[w] = scaledCopyDDotRange(dst, src, d, a, w*n/nb, (w+1)*n/nb)
+		}(w)
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+// scaledCopyDDotRange is one contiguous block of ScaledCopyDDot.
+func scaledCopyDDotRange(dst, src, d []float64, a float64, lo, hi int) float64 {
+	var s float64
+	if d == nil {
+		for i := lo; i < hi; i++ {
+			v := a * src[i]
+			dst[i] = v
+			s += v * v
+		}
+		return s
+	}
+	for i := lo; i < hi; i++ {
+		v := a * src[i]
+		dst[i] = v
+		s += v * d[i] * v
+	}
+	return s
+}

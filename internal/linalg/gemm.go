@@ -11,9 +11,12 @@ import (
 // dgemm step of the TripleProd phase, Z = Sᵀ(LS): the paper notes its
 // arithmetic intensity is s and its depth is independent of s (Table 1).
 //
-// The row dimension is blocked across workers; each worker accumulates a
-// private s×t panel and the panels are combined serially in block order,
-// so results are deterministic for a fixed worker count.
+// The row dimension is blocked across workers; each worker fills a
+// private s×t panel with the register-blocked 4×2 micro-kernel (see
+// blocked.go) and the panels are combined serially in block order, so
+// results are deterministic for a fixed worker count. Each output element
+// owns one accumulator advancing in ascending row order, so the blocked
+// kernel also sums in the same order as the naive reference.
 func AtB(a, b *Dense) *Dense {
 	return AtBInto(a, b, nil, nil)
 }
@@ -23,28 +26,10 @@ func AtB(a, b *Dense) *Dense {
 // ReduceBlocks(n)·s·t floats, grown when short). A workspace-backed
 // caller passes both and the steady-state product allocates nothing.
 func AtBInto(a, b, c *Dense, partials []float64) *Dense {
-	if a.Rows != b.Rows {
-		panic("linalg: AtB dimension mismatch")
-	}
-	n, s, t := a.Rows, a.Cols, b.Cols
-	if c == nil {
-		c = NewDense(s, t)
-	} else if c.Rows != s || c.Cols != t {
-		panic("linalg: AtBInto output shape mismatch")
-	}
+	n, s, t, c := atbCheck(a, b, c)
 	nb := ReduceBlocks(n)
 	if nb == 1 {
-		for j := 0; j < t; j++ {
-			bj := b.Col(j)
-			for i := 0; i < s; i++ {
-				ai := a.Col(i)
-				var sum float64
-				for r := 0; r < n; r++ {
-					sum += ai[r] * bj[r]
-				}
-				c.Data[j*s+i] = sum
-			}
-		}
+		atbPanel(a, b, c.Data, 0, n)
 		return c
 	}
 	// buf: see dotBlocks — keep the captured variable write-free after
@@ -60,37 +45,95 @@ func AtBInto(a, b, c *Dense, partials []float64) *Dense {
 	for w := 0; w < nb; w++ {
 		go func(w int) {
 			defer wg.Done()
-			lo, hi := w*n/nb, (w+1)*n/nb
-			local := buf[w*s*t : (w+1)*s*t]
-			for j := 0; j < t; j++ {
-				bj := b.Col(j)
-				for i := 0; i < s; i++ {
-					ai := a.Col(i)
-					var sum float64
-					for r := lo; r < hi; r++ {
-						sum += ai[r] * bj[r]
-					}
-					local[j*s+i] = sum
-				}
-			}
+			atbPanel(a, b, buf[w*s*t:(w+1)*s*t], w*n/nb, (w+1)*n/nb)
 		}(w)
 	}
 	wg.Wait()
-	// Combine the per-block panels serially in block order (deterministic,
-	// unlike a lock-ordered reduction).
-	for k := 0; k < s*t; k++ {
+	combinePanels(c.Data, buf, nb, s*t)
+	return c
+}
+
+// AtBNaiveInto is the unblocked reference kernel: one full pass over a
+// column pair per output element (A streamed t times, B streamed s
+// times). It is kept as the correctness oracle for the blocked kernel's
+// property tests and as the baseline the perf/kernel_budget.json gate
+// measures the blocked kernel against; production callers should use
+// AtBInto.
+func AtBNaiveInto(a, b, c *Dense, partials []float64) *Dense {
+	n, s, t, c := atbCheck(a, b, c)
+	nb := ReduceBlocks(n)
+	if nb == 1 {
+		naivePanel(a, b, c.Data, 0, n)
+		return c
+	}
+	var buf []float64
+	if cap(partials) >= nb*s*t {
+		buf = partials[:nb*s*t]
+	} else {
+		buf = make([]float64, nb*s*t)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nb)
+	for w := 0; w < nb; w++ {
+		go func(w int) {
+			defer wg.Done()
+			naivePanel(a, b, buf[w*s*t:(w+1)*s*t], w*n/nb, (w+1)*n/nb)
+		}(w)
+	}
+	wg.Wait()
+	combinePanels(c.Data, buf, nb, s*t)
+	return c
+}
+
+// atbCheck validates shapes and allocates c when nil.
+func atbCheck(a, b, c *Dense) (n, s, t int, out *Dense) {
+	if a.Rows != b.Rows {
+		panic("linalg: AtB dimension mismatch")
+	}
+	n, s, t = a.Rows, a.Cols, b.Cols
+	if c == nil {
+		c = NewDense(s, t)
+	} else if c.Rows != s || c.Cols != t {
+		panic("linalg: AtBInto output shape mismatch")
+	}
+	return n, s, t, c
+}
+
+// naivePanel is the reference inner loop: one column-pair pass per
+// output element over rows [lo, hi).
+func naivePanel(a, b *Dense, out []float64, lo, hi int) {
+	s, t := a.Cols, b.Cols
+	for j := 0; j < t; j++ {
+		bj := b.Col(j)
+		for i := 0; i < s; i++ {
+			ai := a.Col(i)
+			var sum float64
+			for r := lo; r < hi; r++ {
+				sum += ai[r] * bj[r]
+			}
+			out[j*s+i] = sum
+		}
+	}
+}
+
+// combinePanels sums the nb per-block panels serially in block order
+// (deterministic, unlike a lock-ordered reduction).
+func combinePanels(dst, buf []float64, nb, panel int) {
+	for k := 0; k < panel; k++ {
 		var sum float64
 		for w := 0; w < nb; w++ {
-			sum += buf[w*s*t+k]
+			sum += buf[w*panel+k]
 		}
-		c.Data[k] = sum
+		dst[k] = sum
 	}
-	return c
 }
 
 // MulSmall computes C = A·Y where A is n×s column-major (large n) and Y is
 // s×p (tiny). This is the final projection [x, y] = B·Y of both HDE
-// variants. Parallelized over row blocks.
+// variants. Parallelized over row blocks; within a block the output
+// columns are produced in pairs so every A column is streamed once per
+// pair instead of once per output column (half the read traffic for the
+// usual p = 2).
 func MulSmall(a, y *Dense) *Dense {
 	return MulSmallInto(a, y, nil)
 }
@@ -116,23 +159,55 @@ func MulSmallInto(a, y, c *Dense) *Dense {
 	return c
 }
 
-// mulSmallRows computes rows [lo, hi) of c = a·y.
+// mulSmallRows computes rows [lo, hi) of c = a·y, two output columns at a
+// time: for each row quad the k-loop reads a[k·n+r] once and feeds both
+// columns' accumulators, summing over k in ascending order exactly like
+// the one-column-at-a-time reference.
 func mulSmallRows(a, y, c *Dense, lo, hi int) {
-	s, p := a.Cols, y.Cols
-	for j := 0; j < p; j++ {
-		cj := c.Col(j)
-		for r := lo; r < hi; r++ {
-			cj[r] = 0
+	n, s, p := a.Rows, a.Cols, y.Cols
+	ad := a.Data
+	j := 0
+	for ; j+2 <= p; j += 2 {
+		y0, y1 := y.Col(j), y.Col(j+1)
+		c0, c1 := c.Col(j), c.Col(j+1)
+		r := lo
+		for ; r+4 <= hi; r += 4 {
+			var s00, s01, s02, s03, s10, s11, s12, s13 float64
+			for k := 0; k < s; k++ {
+				base := k * n
+				f0, f1 := y0[k], y1[k]
+				a0, a1, a2, a3 := ad[base+r], ad[base+r+1], ad[base+r+2], ad[base+r+3]
+				s00 += a0 * f0
+				s10 += a0 * f1
+				s01 += a1 * f0
+				s11 += a1 * f1
+				s02 += a2 * f0
+				s12 += a2 * f1
+				s03 += a3 * f0
+				s13 += a3 * f1
+			}
+			c0[r], c0[r+1], c0[r+2], c0[r+3] = s00, s01, s02, s03
+			c1[r], c1[r+1], c1[r+2], c1[r+3] = s10, s11, s12, s13
 		}
-		for k := 0; k < s; k++ {
-			ak := a.Col(k)
-			f := y.At(k, j)
-			if f == 0 {
-				continue
+		for ; r < hi; r++ {
+			var s0, s1 float64
+			for k := 0; k < s; k++ {
+				av := ad[k*n+r]
+				s0 += av * y0[k]
+				s1 += av * y1[k]
 			}
-			for r := lo; r < hi; r++ {
-				cj[r] += f * ak[r]
+			c0[r], c1[r] = s0, s1
+		}
+	}
+	if j < p {
+		y0 := y.Col(j)
+		c0 := c.Col(j)
+		for r := lo; r < hi; r++ {
+			var s0 float64
+			for k := 0; k < s; k++ {
+				s0 += ad[k*n+r] * y0[k]
 			}
+			c0[r] = s0
 		}
 	}
 }

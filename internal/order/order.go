@@ -11,6 +11,7 @@ package order
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/core"
@@ -27,6 +28,16 @@ func RCM(g *graph.CSR) []int32 {
 	perm := make([]int32, n)
 	visited := make([]bool, n)
 	orderList := make([]int32, 0, n)
+	// queued marks enqueued vertices across the whole run: components are
+	// vertex-disjoint, so one flat []bool replaces the per-component
+	// map[int32]bool (and its per-vertex hashing) the original used.
+	queued := make([]bool, n)
+	queue := make([]int32, 0, 1024)
+	// keys is the reusable neighbor-sort buffer: each neighbor packs to
+	// degree<<32|id, so an ascending uint64 sort orders by increasing
+	// degree with ids breaking ties — no per-vertex slice copy, no
+	// sort.Slice closure.
+	keys := make([]uint64, 0, 256)
 	// Process every component, starting each from its minimum-degree
 	// vertex (a cheap peripheral heuristic).
 	for start := 0; start < n; start++ {
@@ -43,23 +54,23 @@ func RCM(g *graph.CSR) []int32 {
 			}
 		}
 		// BFS with degree-sorted adjacency expansion.
-		seen := make(map[int32]bool, len(comp))
-		seen[best] = true
-		queue := []int32{best}
+		queued[best] = true
+		queue = append(queue[:0], best)
 		for qi := 0; qi < len(queue); qi++ {
 			v := queue[qi]
 			orderList = append(orderList, v)
-			nbrs := append([]int32(nil), g.Neighbors(v)...)
-			sort.Slice(nbrs, func(a, b int) bool {
-				da, db := g.Degree(nbrs[a]), g.Degree(nbrs[b])
-				if da != db {
-					return da < db
+			keys = keys[:0]
+			for _, u := range g.Neighbors(v) {
+				if !queued[u] {
+					keys = append(keys, uint64(g.Degree(u))<<32|uint64(uint32(u)))
 				}
-				return nbrs[a] < nbrs[b]
-			})
-			for _, u := range nbrs {
-				if !seen[u] {
-					seen[u] = true
+			}
+			slices.Sort(keys)
+			for _, k := range keys {
+				u := int32(uint32(k))
+				// Recheck in case the adjacency list carries duplicates.
+				if !queued[u] {
+					queued[u] = true
 					queue = append(queue, u)
 				}
 			}

@@ -78,27 +78,24 @@ func (inc *Incremental) Add(col []float64) bool {
 	}
 	sc := inc.sc
 	work := sc.work
-	linalg.CopyVec(work, col)
-	nrm := norm2P(work, sc.partials)
+	nrm := norm2P(col, sc.partials)
 	if nrm <= DropTolerance {
 		inc.dropped++
 		return false
 	}
-	linalg.Scale(1/nrm, work)
-	for j := range inc.kept {
-		c := dDotP(inc.kept[j], work, inc.d, sc.partials) / inc.keptDN[j]
-		linalg.Axpy(-c, inc.kept[j], work)
-	}
+	linalg.ScaledCopy(work, col, 1/nrm)
+	// The same panel-blocked projection sweep as the batch MGS path, so
+	// coupled and decoupled runs stay bitwise identical.
+	sc.coeffs = projectPanels(inc.kept, inc.keptDN, work, inc.d, sc.coeffs[:0], sc)
 	res := norm2P(work, sc.partials)
 	if res <= DropTolerance {
 		inc.dropped++
 		return false
 	}
 	out := sc.cols[len(inc.kept)]
-	linalg.CopyVec(out, work)
-	linalg.Scale(1/res, out)
+	dn := linalg.ScaledCopyDDot(out, work, inc.d, 1/res, sc.partials)
 	inc.kept = sc.cols[:len(inc.kept)+1]
-	inc.keptDN = append(inc.keptDN, dNormP(out, inc.d, sc.partials))
+	inc.keptDN = append(inc.keptDN, dn)
 	inc.keptIdx = append(inc.keptIdx, idx)
 	return true
 }

@@ -1,39 +1,55 @@
 // Package ortho implements the DOrtho phase of ParHDE: Gram-Schmidt-style
 // (D-)orthogonalization of the BFS distance vectors against the constant
 // vector and each other, with near-linearly-dependent columns dropped
-// (ICPP'20 Algorithm 3, lines 9-16). Two procedures are provided, matching
-// the paper's Table 7 comparison: Modified Gram-Schmidt using only
-// Level-1 operations (the default) and Classical Gram-Schmidt organized as
-// Level-2 matrix-vector products, which trades numerical robustness for
-// fewer synchronization points and is consistently ~2-3× faster.
+// (ICPP'20 Algorithm 3, lines 9-16). Three procedures are provided. The
+// default, MGS, is panel-blocked Gram-Schmidt: the candidate column is
+// projected against the kept columns one PanelCols-wide panel at a time,
+// each panel costing one fused multi-dot pass and one fused multi-axpy
+// pass instead of a dot/axpy pair per column — the bandwidth-lean
+// formulation of the paper's Level-1 procedure. MGSLevel1 keeps the
+// original column-at-a-time sweep as the reference/ablation baseline.
+// CGS is Classical Gram-Schmidt organized as Level-2 matrix-vector
+// products (Table 7), which trades numerical robustness for the fewest
+// synchronization points.
 package ortho
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/linalg"
-	"repro/internal/parallel"
 )
 
 // Method selects the orthogonalization procedure.
 type Method int
 
 const (
-	// MGS is Modified Gram-Schmidt: each column is orthogonalized against
-	// every previously kept column in sequence (Level-1 BLAS only).
+	// MGS is panel-blocked (modified) Gram-Schmidt: the candidate is
+	// orthogonalized against previously kept columns panel by panel, with
+	// one fused multi-dot and one fused multi-axpy pass per panel.
+	// Coefficients within a panel are computed from the same candidate
+	// state (classical within the panel, modified across panels) — the
+	// standard block Gram-Schmidt compromise.
 	MGS Method = iota
 	// CGS is Classical Gram-Schmidt: all projection coefficients for a
 	// column are computed from the original column at once (Level-2 BLAS),
 	// requiring all distance vectors to be precomputed.
 	CGS
+	// MGSLevel1 is the unblocked Modified Gram-Schmidt of the original
+	// implementation: each kept column costs a separate dot and axpy pass
+	// (Level-1 BLAS only). Kept as the numerical reference and as the
+	// baseline the kernel-budget perf gate measures panel MGS against.
+	MGSLevel1
 )
 
 func (m Method) String() string {
-	if m == CGS {
+	switch m {
+	case CGS:
 		return "CGS"
+	case MGSLevel1:
+		return "MGS-L1"
+	default:
+		return "MGS"
 	}
-	return "MGS"
 }
 
 // DropTolerance is the residual-norm threshold below which a column is
@@ -91,44 +107,48 @@ func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scra
 	coeffs := sc.coeffs[:0]
 	dropped := 0
 	for i := 0; i < s; i++ {
-		linalg.CopyVec(work, b.Col(i))
+		src := b.Col(i)
 		// Pre-normalize so the drop tolerance is scale-free (Algorithm 1
-		// normalizes each column before orthogonalizing).
-		nrm := norm2P(work, sc.partials)
+		// normalizes each column before orthogonalizing). The norm is taken
+		// over the source column and folded into the copy, one fused pass
+		// instead of copy + norm + scale.
+		nrm := norm2P(src, sc.partials)
 		if nrm <= DropTolerance {
 			dropped++
 			continue
 		}
-		linalg.Scale(1/nrm, work)
+		linalg.ScaledCopy(work, src, 1/nrm)
 		switch method {
 		case CGS:
-			// All coefficients from the original vector in one fused pass,
-			// then one combined update — the Level-2 formulation of
-			// Table 7. Two sweeps over memory total, versus MGS's two
-			// sweeps per previous column.
-			coeffs = dDotAll(kept, work, d, coeffs[:0])
+			// All coefficients from the original vector at once, then one
+			// combined update — the Level-2 formulation of Table 7. Two
+			// sweeps over memory total, versus a sweep pair per panel.
+			coeffs = linalg.DDotPanel(kept, work, d, coeffs[:0], sc.panelPartials)
 			for j := range coeffs {
 				coeffs[j] /= keptDN[j]
 			}
-			subtractCombination(work, kept, coeffs)
-		default:
-			// The MGS sweep: every D-inner product reuses one partials
-			// buffer, so the s² dots of the phase allocate nothing.
+			linalg.SubtractScaled(work, kept, coeffs)
+		case MGSLevel1:
+			// The original Level-1 sweep: every D-inner product reuses one
+			// partials buffer, so the s² dots of the phase allocate nothing.
 			for j := range kept {
 				c := dDotP(kept[j], work, d, sc.partials) / keptDN[j]
 				linalg.Axpy(-c, kept[j], work)
 			}
+		default:
+			coeffs = projectPanels(kept, keptDN, work, d, coeffs, sc)
 		}
 		res := norm2P(work, sc.partials)
 		if res <= DropTolerance {
 			dropped++
 			continue
 		}
+		// Keep: normalize into the arena column and compute its D-norm in
+		// the same fused pass.
 		col := sc.cols[len(kept)]
-		linalg.CopyVec(col, work)
-		linalg.Scale(1/res, col)
+		dn := linalg.ScaledCopyDDot(col, work, d, 1/res, sc.partials)
 		kept = sc.cols[:len(kept)+1]
-		keptDN = append(keptDN, dNormP(col, d, sc.partials))
+		keptDN = append(keptDN, dn)
 		keptIdx = append(keptIdx, i)
 	}
 	sc.dNorms, sc.keptIdx, sc.coeffs = keptDN[:0], keptIdx[:0], coeffs[:0]
@@ -148,79 +168,26 @@ func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scra
 	}
 }
 
-// subtractCombination computes work ← work − Σ_j coeffs[j]·kept[j] in a
-// single parallel sweep (the Level-2 "gemv" update of CGS): one pass over
-// memory instead of len(kept) passes.
-func subtractCombination(work []float64, kept [][]float64, coeffs []float64) {
-	if parallel.Serial(len(work)) {
-		for j, col := range kept {
-			c := coeffs[j]
-			if c == 0 {
-				continue
-			}
-			for r := range work {
-				work[r] -= c * col[r]
-			}
+// projectPanels removes work's components along the kept columns with
+// panel-blocked Gram-Schmidt: for each PanelCols-wide panel, one fused
+// multi-dot pass yields the panel's coefficients and one fused multi-axpy
+// applies the combined update. Both DOrthogonalizeScratch and the coupled
+// Incremental route through this function, so the two paths stay bitwise
+// identical. Returns the (reusable) coefficient slice.
+func projectPanels(kept [][]float64, keptDN []float64, work, d, coeffs []float64, sc *Scratch) []float64 {
+	for p0 := 0; p0 < len(kept); p0 += linalg.PanelCols {
+		p1 := p0 + linalg.PanelCols
+		if p1 > len(kept) {
+			p1 = len(kept)
 		}
-		return
-	}
-	parallel.ForBlock(len(work), func(lo, hi int) {
-		for j, col := range kept {
-			c := coeffs[j]
-			if c == 0 {
-				continue
-			}
-			for r := lo; r < hi; r++ {
-				work[r] -= c * col[r]
-			}
+		panel := kept[p0:p1]
+		coeffs = linalg.DDotPanel(panel, work, d, coeffs[:0], sc.panelPartials)
+		for j := range coeffs {
+			coeffs[j] /= keptDN[p0+j]
 		}
-	})
-}
-
-// dDotAll computes out[j] = ⟨kept[j], work⟩_D for every kept column in one
-// blocked parallel sweep (the Level-2 "gemv" coefficient step of CGS):
-// work and d are streamed once, not once per column. Per-block partials
-// are combined serially in block order, so the result is deterministic
-// for a fixed worker count.
-func dDotAll(kept [][]float64, work, d []float64, out []float64) []float64 {
-	k := len(kept)
-	out = append(out, make([]float64, k)...)
-	nb := linalg.ReduceBlocks(len(work))
-	partials := make([]float64, nb*k)
-	var wg sync.WaitGroup
-	wg.Add(nb)
-	n := len(work)
-	for w := 0; w < nb; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo, hi := w*n/nb, (w+1)*n/nb
-			local := partials[w*k : (w+1)*k]
-			if d == nil {
-				for j, col := range kept {
-					var s float64
-					for r := lo; r < hi; r++ {
-						s += col[r] * work[r]
-					}
-					local[j] = s
-				}
-			} else {
-				for j, col := range kept {
-					var s float64
-					for r := lo; r < hi; r++ {
-						s += col[r] * d[r] * work[r]
-					}
-					local[j] = s
-				}
-			}
-		}(w)
+		linalg.SubtractScaled(work, panel, coeffs)
 	}
-	wg.Wait()
-	for w := 0; w < nb; w++ {
-		for j := 0; j < k; j++ {
-			out[j] += partials[w*k+j]
-		}
-	}
-	return out
+	return coeffs
 }
 
 // dDotP computes ⟨x,y⟩ or ⟨x,y⟩_D reusing the given reduction-partials

@@ -239,3 +239,71 @@ func TestIncrementalDropsAndPanics(t *testing.T) {
 	}()
 	NewIncremental(10, nil).Add(make([]float64, 5))
 }
+
+// TestPanelMGSMatchesLevel1 is the panel-blocking property test: panel
+// MGS must keep and drop exactly the same columns as the unblocked
+// Level-1 sweep and produce the same orthonormal basis to within float
+// tolerance, across adversarial widths (s below, at, and past PanelCols
+// boundaries, including s=0 and s=1) with and without the D weighting.
+// Panel widths alter the projection summation order, so the comparison is
+// tolerance-based rather than bitwise; D-orthogonality itself is checked
+// at the tight MGS tolerance.
+func TestPanelMGSMatchesLevel1(t *testing.T) {
+	for _, n := range []int{50, 700, 2600} {
+		for _, s := range []int{0, 1, 7, 8, 9, 17, 63} {
+			if s >= n {
+				continue
+			}
+			b := randMatrix(n, s, int64(101*n+s))
+			for _, d := range [][]float64{nil, randDegrees(n, int64(7*n+s))} {
+				panel := DOrthogonalize(b, d, MGS)
+				l1 := DOrthogonalize(b, d, MGSLevel1)
+				if len(panel.Kept) != len(l1.Kept) || panel.Dropped != l1.Dropped {
+					t.Fatalf("n=%d s=%d d=%v: panel kept/dropped %d/%d, level-1 %d/%d",
+						n, s, d != nil, len(panel.Kept), panel.Dropped, len(l1.Kept), l1.Dropped)
+				}
+				for j := range panel.Kept {
+					if panel.Kept[j] != l1.Kept[j] {
+						t.Fatalf("n=%d s=%d: kept sets differ at %d: %d vs %d", n, s, j, panel.Kept[j], l1.Kept[j])
+					}
+				}
+				checkDOrthogonal(t, panel, d, MGS)
+				// Well-conditioned random input: the two sweeps must agree
+				// column by column, not just span the same subspace.
+				for j := 0; j < panel.S.Cols; j++ {
+					pc, lc := panel.S.Col(j), l1.S.Col(j)
+					for i := range pc {
+						if math.Abs(pc[i]-lc[i]) > 1e-9 {
+							t.Fatalf("n=%d s=%d col %d row %d: panel %g, level-1 %g", n, s, j, i, pc[i], lc[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPanelMGSDegenerateColumns drives the panel path through heavy
+// drops: duplicated columns, zero columns, and constant columns mixed in
+// ensure the kept-column panels stay consistent when the kept set is much
+// smaller than the input and column indices are not contiguous.
+func TestPanelMGSDegenerateColumns(t *testing.T) {
+	n := 1500
+	b := randMatrix(n, 9, 3)
+	copy(b.Col(2), b.Col(0))    // exact duplicate
+	linalg.Fill(b.Col(4), 0)    // zero column
+	linalg.Fill(b.Col(6), 3.25) // constant column (parallel to s0)
+	copy(b.Col(8), b.Col(1))    // another duplicate
+	d := randDegrees(n, 4)
+	panel := DOrthogonalize(b, d, MGS)
+	l1 := DOrthogonalize(b, d, MGSLevel1)
+	if panel.Dropped != 4 || l1.Dropped != 4 {
+		t.Fatalf("dropped %d (panel) / %d (level-1), want 4", panel.Dropped, l1.Dropped)
+	}
+	for j := range panel.Kept {
+		if panel.Kept[j] != l1.Kept[j] {
+			t.Fatalf("kept sets differ: %v vs %v", panel.Kept, l1.Kept)
+		}
+	}
+	checkDOrthogonal(t, panel, d, MGS)
+}

@@ -20,10 +20,14 @@ type Scratch struct {
 	cols     [][]float64 // views into arena, rebuilt on ensure
 	work     []float64
 	partials []float64 // reduction partials shared by every dot in a sweep
-	coeffs   []float64 // CGS coefficient vector
-	sOut     *linalg.Dense
-	dNorms   []float64
-	keptIdx  []int
+	// panelPartials is the per-block arena of the fused panel multi-dot:
+	// ReduceBlocks(n) blocks × up to s+1 columns (CGS projects against
+	// every kept column at once).
+	panelPartials []float64
+	coeffs        []float64 // panel/CGS coefficient vector
+	sOut          *linalg.Dense
+	dNorms        []float64
+	keptIdx       []int
 }
 
 // NewScratch returns orthogonalization scratch for up to s length-n
@@ -57,6 +61,9 @@ func (sc *Scratch) Ensure(n, s int) {
 	sc.work = sc.work[:n]
 	if p := linalg.ReduceBlocks(n); cap(sc.partials) < p {
 		sc.partials = make([]float64, p)
+	}
+	if p := linalg.ReduceBlocks(n) * (s + 1); cap(sc.panelPartials) < p {
+		sc.panelPartials = make([]float64, p)
 	}
 	if cap(sc.coeffs) < s+1 {
 		sc.coeffs = make([]float64, 0, s+1)

@@ -65,6 +65,30 @@ type Scratch struct {
 	Dist []int32
 	// DMin tracks min distance to all previous sources (length ≥ n).
 	DMin []int32
+	// Multi-source buffers (lazily sized by the RandomMS strategy): the
+	// pivot permutation and one 64×n distance-row arena per batch.
+	perm    []int32
+	msArena []int32
+	msRows  [][]int32
+}
+
+// ensureMS sizes the RandomMS-only buffers: the permutation vector and
+// a 64-row distance arena covering one MSBFS batch.
+func (sc *Scratch) ensureMS(n int) {
+	if cap(sc.perm) < n {
+		sc.perm = make([]int32, n)
+	}
+	sc.perm = sc.perm[:n]
+	if cap(sc.msArena) < 64*n {
+		sc.msArena = make([]int32, 64*n)
+	}
+	sc.msArena = sc.msArena[:64*n]
+	if sc.msRows == nil {
+		sc.msRows = make([][]int32, 64)
+	}
+	for i := range sc.msRows {
+		sc.msRows[i] = sc.msArena[i*n : (i+1)*n]
+	}
 }
 
 // NewScratch returns BFS-phase scratch for n-vertex graphs.
@@ -97,8 +121,8 @@ func Phase(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.O
 }
 
 // PhaseScratch is Phase running over sc's pooled buffers (nil allocates
-// fresh ones, equivalent to Phase). Only the default k-centers strategy
-// consumes the scratch — the random strategies keep their per-worker
+// fresh ones, equivalent to Phase). The k-centers and multi-source random
+// strategies consume the scratch — plain Random keeps its per-worker
 // private distance vectors — and results are bit-identical either way.
 func PhaseScratch(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	if onTraversal == nil {
@@ -111,7 +135,7 @@ func PhaseScratch(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, op
 	case Random:
 		return randomPhase(g, b, start, onTraversal, onOther)
 	case RandomMS:
-		return randomMSPhase(g, b, start, onTraversal, onOther)
+		return randomMSPhase(g, b, start, sc, onTraversal, onOther)
 	default:
 		return kCentersPhase(g, b, start, opt, sc, onTraversal, onOther)
 	}
@@ -147,11 +171,11 @@ func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, 
 	var ts bfs.Stats
 	traverse := func() { ts = runner.Distances(src, dist) }
 	other := func() {
-		linalg.Int32ToFloat64(b.Col(i), dist)
-		// d(j) ← min(d(j), b_i(j)); next source = farthest vertex from
-		// all previous sources (lines 13-15 of Algorithm 1).
-		linalg.MinUpdateInt32(dmin, dist)
-		src = int32(parallel.ArgmaxInt32(dmin))
+		// One fused pass: widen the distances into the matrix column,
+		// d(j) ← min(d(j), b_i(j)), and pick the next source as the
+		// farthest vertex from all previous sources (lines 13-15 of
+		// Algorithm 1).
+		src = int32(linalg.WidenMinArgmax(b.Col(i), dmin, dist))
 	}
 	for i = 0; i < s; i++ {
 		st.Sources = append(st.Sources, src)
@@ -226,13 +250,22 @@ func randomPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOthe
 
 // randomMSPhase draws random pivots like randomPhase but traverses them in
 // batches of 64 with the bit-parallel multi-source BFS, sharing adjacency
-// scans across all searches in a batch.
-func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOther func(f func())) PhaseStats {
+// scans across all searches in a batch. With a scratch the batch distance
+// rows, the pivot permutation, and the traversal masks all come from
+// pooled buffers, so the steady-state phase performs no O(n) allocations.
+func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	n := g.NumV
 	s := b.Cols
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensureMS(n)
+	if sc.BFS == nil {
+		sc.BFS = bfs.NewScratch(n, parallel.Workers())
+	}
 	st := PhaseStats{Sources: make([]int32, s)}
 	onOther(func() {
-		perm := graph.RandomPermutation(n, uint64(start)*0x9e3779b97f4a7c15+1)
+		perm := graph.RandomPermutationInto(sc.perm, uint64(start)*0x9e3779b97f4a7c15+1)
 		st.Sources[0] = start
 		k := 1
 		for _, v := range perm {
@@ -245,26 +278,25 @@ func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOt
 			}
 		}
 	})
-	dists := make([][]int32, 0, 64)
-	for batch := 0; batch < s; batch += 64 {
-		hi := batch + 64
+	// Hoisted batch closures: the loop body reads batch/hi through the
+	// captured variables, so the steady-state loop allocates nothing.
+	var batch, hi int
+	traverse := func() {
+		ms := bfs.MSBFSScratch(g, st.Sources[batch:hi], sc.msRows[:hi-batch], sc.BFS)
+		st.ScannedEdges += ms.ScannedEdges
+	}
+	widen := func() {
+		for i := batch; i < hi; i++ {
+			linalg.Int32ToFloat64(b.Col(i), sc.msRows[i-batch])
+		}
+	}
+	for batch = 0; batch < s; batch += 64 {
+		hi = batch + 64
 		if hi > s {
 			hi = s
 		}
-		sources := st.Sources[batch:hi]
-		dists = dists[:0]
-		for i := batch; i < hi; i++ {
-			dists = append(dists, make([]int32, n))
-		}
-		onTraversal(func() {
-			ms := bfs.MSBFS(g, sources, dists)
-			st.ScannedEdges += ms.ScannedEdges
-		})
-		onOther(func() {
-			for i := batch; i < hi; i++ {
-				linalg.Int32ToFloat64(b.Col(i), dists[i-batch])
-			}
-		})
+		onTraversal(traverse)
+		onOther(widen)
 	}
 	return st
 }

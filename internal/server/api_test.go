@@ -272,8 +272,11 @@ func TestQueueSaturation429(t *testing.T) {
 // DELETE /jobs/{id} on a running job is observable as state "cancelled"
 // via GET /jobs/{id}, quickly.
 func TestCancelRunningJobViaHTTP(t *testing.T) {
+	// The graph must run long enough that the job is still in flight when
+	// the DELETE lands; the blocked/fused kernels keep shrinking layout
+	// times, so keep this comfortably large.
 	_, ts := newTestServerPair(t, Config{Workers: 1})
-	uploadGraph(t, ts.URL, "slow", gridGraph(120))
+	uploadGraph(t, ts.URL, "slow", gridGraph(300))
 
 	resp, b := postJSON(t, ts.URL+"/jobs",
 		`{"graph":"slow","subspace":50,"seed":1,"coupled":true,"skipQuality":true}`)

@@ -22,6 +22,8 @@ func main() {
 		threads = flag.Int("threads", 0, "max GOMAXPROCS for sweeps (0 = all cores)")
 		benchJS = flag.String("bench-json", "",
 			"run the standard ParHDE perf suite and write a machine-readable BENCH_<date>.json to this directory")
+		scaling = flag.String("scaling", "",
+			"run the worker-budget scaling sweep and write BENCH_SCALING_<date>.json to this directory; exits nonzero if coordinates differ across budgets")
 	)
 	flag.Parse()
 	if *list {
@@ -31,7 +33,7 @@ func main() {
 		}
 		return
 	}
-	if *name == "" && *benchJS == "" {
+	if *name == "" && *benchJS == "" && *scaling == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -60,5 +62,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d graphs)\n", path, len(rep.Entries))
+	}
+	if *scaling != "" {
+		rep, err := exp.Scaling(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdebench:", err)
+			os.Exit(1)
+		}
+		path, err := exp.WriteScalingJSON(*scaling, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d graphs, deterministic=%v)\n", path, len(rep.Graphs), rep.Deterministic)
+		if !rep.Deterministic {
+			fmt.Fprintln(os.Stderr, "hdebench: scaling sweep produced different coordinates across worker budgets")
+			os.Exit(1)
+		}
 	}
 }

@@ -43,6 +43,7 @@ type Runner struct {
 	g       *graph.CSR
 	opt     Options
 	sc      *Scratch
+	bud     parallel.Budget
 	workers int
 }
 
@@ -57,19 +58,31 @@ func NewRunner(g *graph.CSR, opt Options) *Runner {
 // job engine reuses one per worker — but must not share it between
 // concurrently live Runners.
 func NewRunnerScratch(g *graph.CSR, opt Options, sc *Scratch) *Runner {
+	return NewRunnerBudget(g, opt, sc, parallel.SnapshotBudget())
+}
+
+// NewRunnerBudget is NewRunnerScratch with an explicit worker budget. The
+// budget is pinned for the Runner's lifetime: the per-worker queue arenas
+// and every traversal step use the same worker count, so a GOMAXPROCS
+// change mid-run can never desynchronize the partition from the scratch
+// (live budgets are snapshotted once here for exactly that reason).
+func NewRunnerBudget(g *graph.CSR, opt Options, sc *Scratch, bud parallel.Budget) *Runner {
 	if opt.Alpha <= 0 {
 		opt.Alpha = DefaultAlpha
 	}
 	if opt.Beta <= 0 {
 		opt.Beta = DefaultBeta
 	}
-	w := parallel.Workers()
+	if !bud.Fixed() {
+		bud = parallel.SnapshotBudget()
+	}
+	w := bud.Workers()
 	if sc == nil {
 		sc = NewScratch(g.NumV, w)
 	} else {
 		sc.ensure(g.NumV, w)
 	}
-	return &Runner{g: g, opt: opt, sc: sc, workers: w}
+	return &Runner{g: g, opt: opt, sc: sc, bud: bud, workers: w}
 }
 
 // Distances runs a BFS from src, writing hop counts into dist (length
@@ -85,7 +98,7 @@ func (r *Runner) Distances(src int32, dist []int32) Stats {
 			dist[i] = Unreached
 		}
 	} else {
-		parallel.For(n, func(i int) { dist[i] = Unreached })
+		r.bud.For(n, func(i int) { dist[i] = Unreached })
 	}
 	dist[src] = 0
 
@@ -110,7 +123,7 @@ func (r *Runner) Distances(src int32, dist []int32) Stats {
 						r.sc.front.Set(v)
 					}
 				} else {
-					parallel.For(len(q), func(i int) { r.sc.front.Set(q[i]) })
+					r.bud.For(len(q), func(i int) { r.sc.front.Set(q[i]) })
 				}
 				bottomUp = true
 			} else if bottomUp && frontierSize < int64(n)/r.opt.Beta {
@@ -211,7 +224,7 @@ func (r *Runner) bottomUpStep(level int32, dist []int32) (nf, ne, scanned int64)
 		return nf, ne, scanned
 	}
 	var totNF, totNE, totScan int64
-	parallel.ForBlock(g.NumV, func(lo, hi int) {
+	r.bud.ForBlock(g.NumV, func(lo, hi int) {
 		var localNF, localNE, localScan int64
 		for v := lo; v < hi; v++ {
 			if dist[v] != Unreached {

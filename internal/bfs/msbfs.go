@@ -29,6 +29,13 @@ func MSBFS(g *graph.CSR, sources []int32, dists [][]int32) Stats {
 // whole call is allocation-free: every level loop has a plain serial
 // body, so no closure ever escapes.
 func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) Stats {
+	return MSBFSBudget(parallel.Live(), g, sources, dists, sc)
+}
+
+// MSBFSBudget is MSBFSScratch under an explicit worker budget. The CAS
+// claim always stores the same level regardless of which worker wins, so
+// the distance rows are bitwise identical for every budget.
+func MSBFSBudget(bud parallel.Budget, g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) Stats {
 	if len(sources) > 64 {
 		panic("bfs: MSBFS supports at most 64 sources per batch")
 	}
@@ -36,7 +43,7 @@ func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) S
 		panic("bfs: MSBFS needs one distance row per source")
 	}
 	n := g.NumV
-	serial := parallel.Serial(n)
+	serial := bud.Serial(n)
 	for s := range sources {
 		d := dists[s]
 		if serial {
@@ -44,7 +51,7 @@ func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) S
 				d[i] = Unreached
 			}
 		} else {
-			parallel.For(n, func(i int) { d[i] = Unreached })
+			bud.For(n, func(i int) { d[i] = Unreached })
 		}
 	}
 	var seen, frontier, next []uint64
@@ -56,7 +63,7 @@ func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) S
 				seen[i], frontier[i], next[i] = 0, 0, 0
 			}
 		} else {
-			parallel.For(n, func(i int) { seen[i], frontier[i], next[i] = 0, 0, 0 })
+			bud.For(n, func(i int) { seen[i], frontier[i], next[i] = 0, 0, 0 })
 		}
 	} else {
 		seen = make([]uint64, n)     // searches that have reached each vertex
@@ -140,7 +147,7 @@ func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) S
 				}
 			}
 		} else {
-			parallel.ForBlock(n, step)
+			bud.ForBlock(n, step)
 		}
 		st.ScannedEdges += scanned
 		st.TopDownSteps++
@@ -150,7 +157,7 @@ func MSBFSScratch(g *graph.CSR, sources []int32, dists [][]int32, sc *Scratch) S
 				next[i] = 0
 			}
 		} else {
-			parallel.For(n, clearNext)
+			bud.For(n, clearNext)
 		}
 		active = any != 0
 	}

@@ -36,8 +36,16 @@ type Options struct {
 	// (Table 6).
 	Pivots pivot.Strategy
 	// Seed determines the randomly-chosen start vertex and any random
-	// pivots; runs are deterministic for a fixed seed and worker count.
+	// pivots; runs are deterministic for a fixed seed.
 	Seed uint64
+	// Workers is the worker budget for every parallel kernel of the run.
+	// It is captured once at layout start — ≤ 0 snapshots GOMAXPROCS at
+	// that moment — and threaded through all phases, so a GOMAXPROCS
+	// change mid-layout can never re-partition running kernels or
+	// desynchronize worker-indexed scratch. Because every reduction runs
+	// over the fixed linalg row tiling, the coordinates are bitwise
+	// identical for every value of Workers.
+	Workers int
 	// BFS tunes the direction-optimizing traversal.
 	BFS bfs.Options
 	// Delta is the Δ-stepping bucket width for weighted graphs; ≤ 0 uses

@@ -36,6 +36,9 @@ type Report struct {
 	// PhaseAllocs holds per-phase heap-allocation deltas; nil unless
 	// Options.TrackAllocs was set.
 	PhaseAllocs []PhaseAlloc
+	// Workers is the worker budget the run actually used (the snapshot
+	// taken when Options.Workers ≤ 0).
+	Workers int
 }
 
 // ParHDE computes a p-dimensional layout of the connected graph g with the
@@ -71,6 +74,14 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 	if ws != nil {
 		ws.Reshape(n, s, opt.Dims)
 	}
+	// The worker budget is captured exactly once per layout: every kernel
+	// below fans out across bud's worker count and nothing re-reads
+	// GOMAXPROCS mid-run.
+	bud := parallel.FixedBudget(opt.Workers)
+	if opt.Workers <= 0 {
+		bud = parallel.SnapshotBudget()
+	}
+	rep.Workers = bud.Workers()
 
 	if opt.Coupled {
 		if g.Weighted() || opt.Pivots != pivot.KCenters || opt.Ortho != ortho.MGS {
@@ -88,10 +99,10 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		// cached buffer when one is attached.
 		degrees := func() []float64 {
 			if ws != nil {
-				ws.Deg = g.WeightedDegreesInto(ws.Deg)
+				ws.Deg = g.WeightedDegreesIntoBudget(bud, ws.Deg)
 				return ws.Deg
 			}
-			return g.WeightedDegrees()
+			return g.WeightedDegreesIntoBudget(bud, nil)
 		}
 		start := int32(splitmix(opt.Seed) % uint64(n))
 		onTrav := func(f func()) { tr.timed("bfs_traversal", &bd.BFSTraversal, f) }
@@ -109,7 +120,7 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 				deg = degrees()
 			}
 			var res ortho.Result
-			res, err = coupledPhase(ctx, g, s, start, deg, opt, rep, bd, tr)
+			res, err = coupledPhase(ctx, bud, g, s, start, deg, opt, rep, bd, tr)
 			if err != nil {
 				return
 			}
@@ -135,9 +146,11 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 			}
 			var ps pivot.PhaseStats
 			if g.Weighted() {
+				// The Δ-stepping weighted path has its own internal
+				// scheduling and stays on the live budget.
 				ps = pivot.PhaseWeighted(g, b, start, opt.Delta, onTrav, onOther)
 			} else {
-				ps = pivot.PhaseScratch(g, b, start, opt.Pivots, opt.BFS, psc, onTrav, onOther)
+				ps = pivot.PhaseBudget(bud, g, b, start, opt.Pivots, opt.BFS, psc, onTrav, onOther)
 			}
 			rep.Sources = ps.Sources
 			rep.BFSStats = ps.Traversal
@@ -166,7 +179,7 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 				if ws != nil {
 					osc = ws.Ortho
 				}
-				res := ortho.DOrthogonalizeScratch(b, d, opt.Ortho, osc)
+				res := ortho.DOrthogonalizeBudget(bud, b, d, opt.Ortho, osc)
 				rep.KeptColumns = len(res.Kept)
 				rep.DroppedColumns = res.Dropped
 				layoutCols := opt.Dims
@@ -197,21 +210,21 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 				(opt.LS == LSAuto && (ws != nil || sMat.Cols >= 8))
 			switch {
 			case tiled && ws != nil:
-				p = linalg.LapMulDenseTiledInto(g, deg, sMat,
+				p = linalg.LapMulDenseTiledBudget(bud, g, deg, sMat,
 					linalg.ViewDense(ws.P, n, sMat.Cols), ws.SRM, ws.PRM)
 			case tiled:
-				p = linalg.LapMulDenseTiled(g, deg, sMat)
+				p = linalg.LapMulDenseTiledBudget(bud, g, deg, sMat, nil, nil, nil)
 			default:
-				p = linalg.LapMulDense(g, deg, sMat)
+				p = linalg.LapMulDenseBudget(bud, g, deg, sMat)
 			}
 		})
 		var z *linalg.Dense
 		tr.timed("gemm", &bd.Gemm, func() {
 			if ws != nil {
 				k := sMat.Cols
-				z = linalg.AtBInto(sMat, p, linalg.ViewDense(ws.Z, k, k), ws.GemmPartials)
+				z = linalg.AtBBudget(bud, sMat, p, linalg.ViewDense(ws.Z, k, k), ws.GemmPartials)
 			} else {
-				z = linalg.AtB(sMat, p)
+				z = linalg.AtBBudget(bud, sMat, p, nil, nil)
 			}
 		})
 
@@ -235,10 +248,10 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		NotifyPhase(ctx, "project")
 		tr.timed("project", &bd.Project, func() {
 			if ws != nil {
-				c := linalg.MulSmallInto(sMat, axes, linalg.ViewDense(ws.Coords, n, axes.Cols))
+				c := linalg.MulSmallBudget(bud, sMat, axes, linalg.ViewDense(ws.Coords, n, axes.Cols))
 				layout = &Layout{Coords: c}
 			} else {
-				layout = &Layout{Coords: linalg.MulSmall(sMat, axes)}
+				layout = &Layout{Coords: linalg.MulSmallBudget(bud, sMat, axes, nil)}
 			}
 		})
 	})
@@ -299,27 +312,31 @@ func splitmix(seed uint64) uint64 {
 // every pivot traversal, so cancelling a long run (s up to 50 traversals
 // over a million-vertex graph) takes effect within one BFS — milliseconds
 // — rather than after the whole phase.
-func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown, tr *allocTracker) (ortho.Result, error) {
+func coupledPhase(ctx context.Context, bud parallel.Budget, g *graph.CSR, s int, start int32, deg []float64, opt Options, rep *Report, bd *Breakdown, tr *allocTracker) (ortho.Result, error) {
 	n := g.NumV
 	var (
 		runner     *bfs.Runner
 		dist, dmin []int32
 		col        []float64
 		inc        *ortho.Incremental
+		amIdx      []int
+		amVals     []int32
 	)
 	if ws := opt.Workspace; ws != nil {
-		runner = bfs.NewRunnerScratch(g, opt.BFS, ws.Pivot.BFS)
+		runner = bfs.NewRunnerBudget(g, opt.BFS, ws.Pivot.BFS, bud)
 		dist, dmin = ws.Pivot.Dist, ws.Pivot.DMin
 		col = ws.Col
-		inc = ortho.NewIncrementalScratch(n, deg, ws.Ortho)
+		inc = ortho.NewIncrementalBudget(bud, n, deg, ws.Ortho)
+		ws.Pivot.Ensure(n)
+		amIdx, amVals = ws.Pivot.ArgmaxArenas()
 	} else {
-		runner = bfs.NewRunner(g, opt.BFS)
+		runner = bfs.NewRunnerBudget(g, opt.BFS, nil, bud)
 		dist = make([]int32, n)
 		dmin = make([]int32, n)
 		col = make([]float64, n)
-		inc = ortho.NewIncremental(n, deg)
+		inc = ortho.NewIncrementalBudget(bud, n, deg, nil)
 	}
-	parallelFillInt32(dmin, int32(1)<<30)
+	parallelFillInt32(bud, dmin, int32(1)<<30)
 
 	src := start
 	rep.Sources = make([]int32, 0, s)
@@ -332,7 +349,7 @@ func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []f
 	other := func() {
 		// Fused widen + min-update + argmax: one pass over the distance
 		// vector instead of three.
-		src = int32(linalg.WidenMinArgmax(col, dmin, dist))
+		src = int32(linalg.WidenMinArgmaxBudget(bud, col, dmin, dist, amIdx, amVals))
 	}
 	addCol := func() { inc.Add(col) }
 	for i := 0; i < s; i++ {
@@ -356,14 +373,14 @@ func coupledPhase(ctx context.Context, g *graph.CSR, s int, start int32, deg []f
 }
 
 // parallelFillInt32 sets every element of x to v.
-func parallelFillInt32(x []int32, v int32) {
-	if parallel.Serial(len(x)) {
+func parallelFillInt32(bud parallel.Budget, x []int32, v int32) {
+	if bud.Serial(len(x)) {
 		for i := range x {
 			x[i] = v
 		}
 		return
 	}
-	parallel.ForBlock(len(x), func(lo, hi int) {
+	bud.ForBlock(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x[i] = v
 		}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/workspace"
+)
+
+// TestParHDEBitIdenticalAcrossWorkerBudgets is the layout-level budget
+// invariance property: for a fixed seed, the coordinates are bitwise
+// identical whether the run uses 1, 2, or 4 workers, decoupled or
+// coupled, fresh allocations or a pooled workspace shared across all
+// budgets.
+func TestParHDEBitIdenticalAcrossWorkerBudgets(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	graphs := []struct {
+		name string
+		opt  Options
+	}{
+		{"decoupled", Options{Subspace: 8, Seed: 11}},
+		{"coupled", Options{Subspace: 8, Seed: 11, Coupled: true}},
+	}
+	g := gen.Kron(13, 8, 3) // n=8192: spans two reduction tiles, admits 4-way block fan-out
+	ws := workspace.New()   // shared across budgets: arenas must be budget-independent
+	for _, c := range graphs {
+		opt := c.opt
+		opt.Workers = 1
+		ref, refRep, err := ParHDE(g, opt)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", c.name, err)
+		}
+		if refRep.Workers != 1 {
+			t.Fatalf("%s: Report.Workers = %d, want 1", c.name, refRep.Workers)
+		}
+		for _, p := range []int{2, 4} {
+			opt := c.opt
+			opt.Workers = p
+			opt.Workspace = ws
+			lay, rep, err := ParHDE(g, opt)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.name, p, err)
+			}
+			if rep.Workers != p {
+				t.Fatalf("%s workers=%d: Report.Workers = %d", c.name, p, rep.Workers)
+			}
+			if len(lay.Coords.Data) != len(ref.Coords.Data) {
+				t.Fatalf("%s workers=%d: coordinate count diverged", c.name, p)
+			}
+			for k := range ref.Coords.Data {
+				if lay.Coords.Data[k] != ref.Coords.Data[k] {
+					t.Fatalf("%s workers=%d: Coords[%d] = %v, want %v (bitwise)",
+						c.name, p, k, lay.Coords.Data[k], ref.Coords.Data[k])
+				}
+			}
+		}
+	}
+}
+
+// TestParHDEWorkersSnapshotDefault: Workers <= 0 snapshots GOMAXPROCS at
+// layout start and reports the captured value.
+func TestParHDEWorkersSnapshotDefault(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	g := gen.Grid2D(15, 15)
+	_, rep, err := ParHDE(g, Options{Subspace: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 2 {
+		t.Fatalf("Report.Workers = %d, want snapshot of GOMAXPROCS(2)", rep.Workers)
+	}
+}

@@ -147,6 +147,11 @@ func Fig4(w io.Writer, cfg Config) error {
 	for _, ng := range LargeCollection(cfg.Factor) {
 		base := map[string]time.Duration{}
 		for _, p := range sweep {
+			// Pin the layout's worker budget to the sweep point explicitly —
+			// the snapshot-at-start default would match here, but the sweep
+			// should not depend on when the snapshot is taken.
+			opt := opt
+			opt.Workers = p
 			var rep *core.Report
 			var total time.Duration
 			withThreads(p, func() {

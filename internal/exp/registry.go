@@ -26,6 +26,7 @@ var registry = map[string]struct {
 	"fig2":       {Fig2, "adjacency gap distributions (Fibonacci binning)"},
 	"fig3":       {Fig3, "phase breakdown: parallel / 1-thread / prior"},
 	"fig4":       {Fig4, "scaling of ParHDE and phases across cores"},
+	"scaling":    {ScalingExperiment, "worker-budget sweep with per-phase curves and determinism checksums"},
 	"fig5":       {Fig5, "s=50 breakdown; BFS and TripleProd internal splits"},
 	"fig6":       {Fig6, "PivotMDS and PHDE breakdowns"},
 	"fig7":       {Fig7, "random-pivot ParHDE / PHDE / PivotMDS drawings"},

@@ -62,24 +62,31 @@ func (g *CSR) WeightedDegrees() []float64 {
 // capacity suffices (allocating otherwise), so a pooled caller re-pays no
 // O(n) allocation per run.
 func (g *CSR) WeightedDegreesInto(buf []float64) []float64 {
+	return g.WeightedDegreesIntoBudget(parallel.Live(), buf)
+}
+
+// WeightedDegreesIntoBudget is WeightedDegreesInto under an explicit
+// worker budget. Each vertex's degree is summed by one worker in
+// adjacency order, so the result is partition-independent.
+func (g *CSR) WeightedDegreesIntoBudget(bud parallel.Budget, buf []float64) []float64 {
 	d := buf
 	if cap(d) < g.NumV {
 		d = make([]float64, g.NumV)
 	}
 	d = d[:g.NumV]
 	if g.Weights == nil {
-		if parallel.Serial(g.NumV) {
+		if bud.Serial(g.NumV) {
 			for i := 0; i < g.NumV; i++ {
 				d[i] = float64(g.Offsets[i+1] - g.Offsets[i])
 			}
 			return d
 		}
-		parallel.For(g.NumV, func(i int) {
+		bud.For(g.NumV, func(i int) {
 			d[i] = float64(g.Offsets[i+1] - g.Offsets[i])
 		})
 		return d
 	}
-	parallel.For(g.NumV, func(i int) {
+	bud.For(g.NumV, func(i int) {
 		var s float64
 		for _, w := range g.Weights[g.Offsets[i]:g.Offsets[i+1]] {
 			s += w

@@ -56,6 +56,13 @@ type Config struct {
 	// layout is internally parallel already, so more workers trade
 	// per-job latency for throughput under concurrent load.
 	Workers int
+	// KernelWorkers is the per-layout kernel worker budget
+	// (core.Options.Workers) applied to jobs that don't set their own.
+	// It defaults to max(1, GOMAXPROCS / Workers): with the pool
+	// saturated, Workers × KernelWorkers goroutines ≈ GOMAXPROCS,
+	// instead of the P² oversubscription of every layout fanning its
+	// kernels out GOMAXPROCS-wide.
+	KernelWorkers int
 	// QueueDepth bounds the jobs waiting for a worker; submissions
 	// beyond it are rejected with ErrQueueFull (0 = DefaultQueueDepth).
 	QueueDepth int
@@ -82,6 +89,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.KernelWorkers <= 0 {
+		c.KernelWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.KernelWorkers < 1 {
+			c.KernelWorkers = 1
+		}
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = DefaultQueueDepth
@@ -280,6 +293,11 @@ func (e *Engine) runJob(j *Job, ws *workspace.Workspace) {
 	cfg := j.cfg
 	if cfg.Algorithm == pipeline.ParHDE {
 		cfg.Layout.Workspace = ws
+	}
+	// Cap each layout's kernel fan-out so Workers concurrent jobs don't
+	// oversubscribe the machine; a job that set its own budget keeps it.
+	if cfg.Layout.Workers <= 0 {
+		cfg.Layout.Workers = e.cfg.KernelWorkers
 	}
 	res, err := e.cfg.run(ctx, j.g, cfg)
 	e.running.Add(-1)

@@ -1,0 +1,122 @@
+//go:build perf
+
+package kernelbench
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/linalg"
+	"repro/internal/ortho"
+	"repro/internal/parallel"
+)
+
+// TestParallelEfficiencyGate measures the 4-worker speedup of each
+// parallel kernel path over its 1-worker (serial) path on the same
+// machine in the same run, and gates against the *_parallel_4w entries
+// of perf/kernel_budget.json. Ratios, not absolute times, so the gate
+// travels across machines — but it needs 4 real cores to mean anything,
+// so it skips on smaller hosts (the paper's Figure 4 scaling claims are
+// likewise statements about multicore hardware).
+func TestParallelEfficiencyGate(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("parallel-efficiency gate needs >= 4 cores, have %d", runtime.NumCPU())
+	}
+	budget := loadBudget(t)
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	check := func(name string, speedup float64) {
+		t.Helper()
+		want, ok := budget.Kernels[name]
+		if !ok {
+			t.Fatalf("no kernel budget entry for %q", name)
+		}
+		floor := want.BaselineSpeedup * budget.Margin
+		t.Logf("%s: 4-worker speedup %.2fx (baseline %.2fx, floor %.2fx)", name, speedup, want.BaselineSpeedup, floor)
+		if speedup < floor {
+			t.Errorf("%s: speedup %.2fx below floor %.2fx — if the regression is intentional, lower perf/kernel_budget.json", name, speedup, floor)
+		}
+	}
+
+	const reps = 5
+	serial := parallel.FixedBudget(1)
+	four := parallel.FixedBudget(4)
+
+	// Parallel blocked AtB: per-worker tile ranges vs the serial sweep.
+	{
+		n, s := 1<<20, 48
+		a, b := randDense(n, s, 11), randDense(n, s, 12)
+		partials := make([]float64, linalg.ReduceBlocks(n)*s*s)
+		t1 := minTime(reps, func() { linalg.AtBBudget(serial, a, b, nil, partials) })
+		t4 := minTime(reps, func() { linalg.AtBBudget(four, a, b, nil, partials) })
+		check("atb_parallel_4w", float64(t1)/float64(t4))
+	}
+
+	// Parallel panel MGS: fused panel dots and axpys fanned over tiles.
+	{
+		n, s := 1<<19, 48
+		d := make([]float64, n)
+		r := rand.New(rand.NewSource(13))
+		for i := range d {
+			d[i] = 1 + float64(r.Intn(20))
+		}
+		sc := ortho.NewScratch(n, s)
+		b1, b4 := randDense(n, s, 14), randDense(n, s, 14)
+		t1 := minTime(reps, func() { ortho.DOrthogonalizeBudget(serial, cloneDense(b1), d, ortho.MGS, sc) })
+		t4 := minTime(reps, func() { ortho.DOrthogonalizeBudget(four, cloneDense(b4), d, ortho.MGS, sc) })
+		check("panel_mgs_parallel_4w", float64(t1)/float64(t4))
+	}
+
+	// Parallel fused widen/min/argmax with the fixed-tile reduction.
+	{
+		n := 1 << 22
+		src := make([]int32, n)
+		dmin := make([]int32, n)
+		dst := make([]float64, n)
+		r := rand.New(rand.NewSource(15))
+		for i := range src {
+			src[i] = int32(r.Intn(1 << 20))
+		}
+		tiles := linalg.ReduceBlocks(n)
+		idxs, vals := make([]int, tiles), make([]int32, tiles)
+		reset := func() {
+			for i := range dmin {
+				dmin[i] = int32(1) << 30
+			}
+		}
+		reset()
+		t1 := minTime(reps, func() { linalg.WidenMinArgmaxBudget(serial, dst, dmin, src, idxs, vals) })
+		reset()
+		t4 := minTime(reps, func() { linalg.WidenMinArgmaxBudget(four, dst, dmin, src, idxs, vals) })
+		check("fused_widen_parallel_4w", float64(t1)/float64(t4))
+	}
+
+	// Whole-layout scaling on the paper's headline graph shape: the
+	// ISSUE's acceptance target (kron 2^18 at 4 workers vs 1).
+	{
+		g := gen.Kron(18, 16, 102)
+		run := func(p int) func() {
+			opt := core.Options{Subspace: 10, Seed: 42, Workers: p, SkipConnectivityCheck: true}
+			return func() {
+				if _, _, err := core.ParHDE(g, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		t1 := minTime(3, run(1))
+		t4 := minTime(3, run(4))
+		check("layout_parallel_4w", float64(t1)/float64(t4))
+	}
+}
+
+// cloneDense copies m so repeated in-place orthogonalizations see the
+// same input.
+func cloneDense(m *linalg.Dense) *linalg.Dense {
+	c := linalg.NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}

@@ -1,8 +1,6 @@
 package linalg
 
 import (
-	"sync"
-
 	"repro/internal/parallel"
 )
 
@@ -19,11 +17,22 @@ import (
 // over memory instead of the three the unfused widen → min-update →
 // argmax sequence performs, with identical results.
 func WidenMinArgmax(dst []float64, dmin, src []int32) int {
+	return WidenMinArgmaxBudget(parallel.Live(), dst, dmin, src, nil, nil)
+}
+
+// WidenMinArgmaxBudget is WidenMinArgmax under an explicit worker budget,
+// with idxs/vals as the per-tile argmax arenas (capacity ≥
+// ReduceBlocks(n) each, allocated when short); a pooled caller passes
+// both so the steady-state call allocates nothing. The elementwise writes
+// are partition-independent, and the cross-tile first-maximum combine
+// matches the serial first-maximum scan, so every budget returns the
+// same index.
+func WidenMinArgmaxBudget(bud parallel.Budget, dst []float64, dmin, src []int32, idxs []int, vals []int32) int {
 	checkLen(len(dst), len(src))
 	checkLen(len(dmin), len(src))
 	n := len(src)
-	nb := ReduceBlocks(n)
-	if nb == 1 {
+	tiles := ReduceBlocks(n)
+	if tiles == 1 || bud.Workers() <= 1 {
 		best, bv := 0, int32(-1<<31)
 		for i := 0; i < n; i++ {
 			v := src[i]
@@ -37,33 +46,36 @@ func WidenMinArgmax(dst []float64, dmin, src []int32) int {
 		}
 		return best
 	}
-	idxs := make([]int, nb)
-	vals := make([]int32, nb)
-	var wg sync.WaitGroup
-	wg.Add(nb)
-	for w := 0; w < nb; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo, hi := w*n/nb, (w+1)*n/nb
-			best, bv := lo, int32(-1<<31)
-			for i := lo; i < hi; i++ {
-				v := src[i]
-				dst[i] = float64(v)
-				if v < dmin[i] {
-					dmin[i] = v
-				}
-				if dmin[i] > bv {
-					best, bv = i, dmin[i]
-				}
-			}
-			idxs[w], vals[w] = best, bv
-		}(w)
+	var ib []int
+	if cap(idxs) >= tiles {
+		ib = idxs[:tiles]
+	} else {
+		ib = make([]int, tiles)
 	}
-	wg.Wait()
-	best, bv := idxs[0], vals[0]
-	for w := 1; w < nb; w++ {
-		if vals[w] > bv {
-			best, bv = idxs[w], vals[w]
+	var vb []int32
+	if cap(vals) >= tiles {
+		vb = vals[:tiles]
+	} else {
+		vb = make([]int32, tiles)
+	}
+	forTiles(bud, n, tiles, func(t, lo, hi int) {
+		best, bv := lo, int32(-1<<31)
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			dst[i] = float64(v)
+			if v < dmin[i] {
+				dmin[i] = v
+			}
+			if dmin[i] > bv {
+				best, bv = i, dmin[i]
+			}
+		}
+		ib[t], vb[t] = best, bv
+	})
+	best, bv := ib[0], vb[0]
+	for t := 1; t < tiles; t++ {
+		if vb[t] > bv {
+			best, bv = ib[t], vb[t]
 		}
 	}
 	return best
@@ -72,14 +84,20 @@ func WidenMinArgmax(dst []float64, dmin, src []int32) int {
 // ScaledCopy computes dst[i] = a·src[i] in one pass — the fused form of
 // CopyVec followed by Scale.
 func ScaledCopy(dst, src []float64, a float64) {
+	ScaledCopyBudget(parallel.Live(), dst, src, a)
+}
+
+// ScaledCopyBudget is ScaledCopy under an explicit worker budget. Each
+// element is written by one worker, so results are partition-independent.
+func ScaledCopyBudget(bud parallel.Budget, dst, src []float64, a float64) {
 	checkLen(len(dst), len(src))
-	if parallel.Serial(len(src)) {
+	if bud.Serial(len(src)) {
 		for i, v := range src {
 			dst[i] = a * v
 		}
 		return
 	}
-	parallel.ForBlock(len(src), func(lo, hi int) {
+	bud.ForBlock(len(src), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = a * src[i]
 		}
@@ -90,33 +108,40 @@ func ScaledCopy(dst, src []float64, a float64) {
 // (plain dstᵀdst when d is nil) in the same pass: the fused form of the
 // DOrtho keep step, which previously copied, scaled, and then re-streamed
 // the column a third time for its D-norm. partials is the reduction
-// buffer (capacity ≥ ReduceBlocks(n), grown when short); the block
-// partition and serial in-order combine match DotWith/DDotWith.
+// buffer (capacity ≥ ReduceBlocks(n), grown when short); the fixed
+// tiling and serial in-tile-order combine match DotWith/DDotWith, so the
+// sum is bitwise identical for every worker budget.
 func ScaledCopyDDot(dst, src, d []float64, a float64, partials []float64) float64 {
+	return ScaledCopyDDotBudget(parallel.Live(), dst, src, d, a, partials)
+}
+
+// ScaledCopyDDotBudget is ScaledCopyDDot under an explicit worker budget.
+func ScaledCopyDDotBudget(bud parallel.Budget, dst, src, d []float64, a float64, partials []float64) float64 {
 	checkLen(len(dst), len(src))
 	if d != nil {
 		checkLen(len(d), len(src))
 	}
 	n := len(src)
-	nb := ReduceBlocks(n)
-	if nb == 1 {
+	tiles := ReduceBlocks(n)
+	if tiles == 1 {
 		return scaledCopyDDotRange(dst, src, d, a, 0, n)
 	}
+	if bud.Workers() <= 1 {
+		var s float64
+		for t := 0; t < tiles; t++ {
+			s += scaledCopyDDotRange(dst, src, d, a, t*n/tiles, (t+1)*n/tiles)
+		}
+		return s
+	}
 	var buf []float64
-	if cap(partials) >= nb {
-		buf = partials[:nb]
+	if cap(partials) >= tiles {
+		buf = partials[:tiles]
 	} else {
-		buf = make([]float64, nb)
+		buf = make([]float64, tiles)
 	}
-	var wg sync.WaitGroup
-	wg.Add(nb)
-	for w := 0; w < nb; w++ {
-		go func(w int) {
-			defer wg.Done()
-			buf[w] = scaledCopyDDotRange(dst, src, d, a, w*n/nb, (w+1)*n/nb)
-		}(w)
-	}
-	wg.Wait()
+	forTiles(bud, n, tiles, func(t, lo, hi int) {
+		buf[t] = scaledCopyDDotRange(dst, src, d, a, lo, hi)
+	})
 	var s float64
 	for _, v := range buf {
 		s += v
@@ -124,7 +149,7 @@ func ScaledCopyDDot(dst, src, d []float64, a float64, partials []float64) float6
 	return s
 }
 
-// scaledCopyDDotRange is one contiguous block of ScaledCopyDDot.
+// scaledCopyDDotRange is one tile of ScaledCopyDDot.
 func scaledCopyDDotRange(dst, src, d []float64, a float64, lo, hi int) float64 {
 	var s float64
 	if d == nil {

@@ -1,8 +1,6 @@
 package linalg
 
 import (
-	"sync"
-
 	"repro/internal/parallel"
 )
 
@@ -11,45 +9,52 @@ import (
 // dgemm step of the TripleProd phase, Z = Sᵀ(LS): the paper notes its
 // arithmetic intensity is s and its depth is independent of s (Table 1).
 //
-// The row dimension is blocked across workers; each worker fills a
-// private s×t panel with the register-blocked 4×2 micro-kernel (see
-// blocked.go) and the panels are combined serially in block order, so
-// results are deterministic for a fixed worker count. Each output element
-// owns one accumulator advancing in ascending row order, so the blocked
-// kernel also sums in the same order as the naive reference.
+// The row dimension is cut into the fixed TileRows tiling; each tile is
+// filled with the register-blocked 4×2 micro-kernel (see blocked.go) into
+// its own s×t panel and the panels are combined serially in tile order.
+// Because the tile grid depends only on n, the result is bitwise
+// identical for every worker budget, including the serial path. Each
+// output element owns one accumulator advancing in ascending row order,
+// so the blocked kernel also sums in the same order as the naive
+// reference within a tile.
 func AtB(a, b *Dense) *Dense {
 	return AtBInto(a, b, nil, nil)
 }
 
 // AtBInto is AtB writing into c (allocated when nil; contents are
-// overwritten) with partials as the per-block panel arena (capacity ≥
+// overwritten) with partials as the per-tile panel arena (capacity ≥
 // ReduceBlocks(n)·s·t floats, grown when short). A workspace-backed
 // caller passes both and the steady-state product allocates nothing.
 func AtBInto(a, b, c *Dense, partials []float64) *Dense {
+	return AtBBudget(parallel.Live(), a, b, c, partials)
+}
+
+// AtBBudget is AtBInto running under an explicit worker budget: the
+// budget sets how many goroutines the fixed tile grid fans out across and
+// nothing else, so every budget produces identical bits.
+func AtBBudget(bud parallel.Budget, a, b, c *Dense, partials []float64) *Dense {
 	n, s, t, c := atbCheck(a, b, c)
-	nb := ReduceBlocks(n)
-	if nb == 1 {
+	tiles := ReduceBlocks(n)
+	if tiles == 1 {
 		atbPanel(a, b, c.Data, 0, n)
 		return c
 	}
-	// buf: see dotBlocks — keep the captured variable write-free after
-	// capture so the serial path stays allocation-free.
 	var buf []float64
-	if cap(partials) >= nb*s*t {
-		buf = partials[:nb*s*t]
+	if cap(partials) >= tiles*s*t {
+		buf = partials[:tiles*s*t]
 	} else {
-		buf = make([]float64, nb*s*t)
+		buf = make([]float64, tiles*s*t)
 	}
-	var wg sync.WaitGroup
-	wg.Add(nb)
-	for w := 0; w < nb; w++ {
-		go func(w int) {
-			defer wg.Done()
-			atbPanel(a, b, buf[w*s*t:(w+1)*s*t], w*n/nb, (w+1)*n/nb)
-		}(w)
+	if bud.Workers() <= 1 {
+		for tl := 0; tl < tiles; tl++ {
+			atbPanel(a, b, buf[tl*s*t:(tl+1)*s*t], tl*n/tiles, (tl+1)*n/tiles)
+		}
+	} else {
+		forTiles(bud, n, tiles, func(tl, lo, hi int) {
+			atbPanel(a, b, buf[tl*s*t:(tl+1)*s*t], lo, hi)
+		})
 	}
-	wg.Wait()
-	combinePanels(c.Data, buf, nb, s*t)
+	combinePanels(c.Data, buf, tiles, s*t)
 	return c
 }
 
@@ -60,28 +65,34 @@ func AtBInto(a, b, c *Dense, partials []float64) *Dense {
 // measures the blocked kernel against; production callers should use
 // AtBInto.
 func AtBNaiveInto(a, b, c *Dense, partials []float64) *Dense {
+	return AtBNaiveBudget(parallel.Live(), a, b, c, partials)
+}
+
+// AtBNaiveBudget is AtBNaiveInto under an explicit worker budget, tiled
+// exactly like AtBBudget so the two stay bitwise comparable.
+func AtBNaiveBudget(bud parallel.Budget, a, b, c *Dense, partials []float64) *Dense {
 	n, s, t, c := atbCheck(a, b, c)
-	nb := ReduceBlocks(n)
-	if nb == 1 {
+	tiles := ReduceBlocks(n)
+	if tiles == 1 {
 		naivePanel(a, b, c.Data, 0, n)
 		return c
 	}
 	var buf []float64
-	if cap(partials) >= nb*s*t {
-		buf = partials[:nb*s*t]
+	if cap(partials) >= tiles*s*t {
+		buf = partials[:tiles*s*t]
 	} else {
-		buf = make([]float64, nb*s*t)
+		buf = make([]float64, tiles*s*t)
 	}
-	var wg sync.WaitGroup
-	wg.Add(nb)
-	for w := 0; w < nb; w++ {
-		go func(w int) {
-			defer wg.Done()
-			naivePanel(a, b, buf[w*s*t:(w+1)*s*t], w*n/nb, (w+1)*n/nb)
-		}(w)
+	if bud.Workers() <= 1 {
+		for tl := 0; tl < tiles; tl++ {
+			naivePanel(a, b, buf[tl*s*t:(tl+1)*s*t], tl*n/tiles, (tl+1)*n/tiles)
+		}
+	} else {
+		forTiles(bud, n, tiles, func(tl, lo, hi int) {
+			naivePanel(a, b, buf[tl*s*t:(tl+1)*s*t], lo, hi)
+		})
 	}
-	wg.Wait()
-	combinePanels(c.Data, buf, nb, s*t)
+	combinePanels(c.Data, buf, tiles, s*t)
 	return c
 }
 
@@ -116,8 +127,9 @@ func naivePanel(a, b *Dense, out []float64, lo, hi int) {
 	}
 }
 
-// combinePanels sums the nb per-block panels serially in block order
-// (deterministic, unlike a lock-ordered reduction).
+// combinePanels sums the nb per-tile panels serially in ascending tile
+// order — the fixed combine order that keeps results identical across
+// worker budgets.
 func combinePanels(dst, buf []float64, nb, panel int) {
 	for k := 0; k < panel; k++ {
 		var sum float64
@@ -142,6 +154,13 @@ func MulSmall(a, y *Dense) *Dense {
 // are overwritten). Each output element is produced by exactly one block,
 // so reuse changes nothing numerically.
 func MulSmallInto(a, y, c *Dense) *Dense {
+	return MulSmallBudget(parallel.Live(), a, y, c)
+}
+
+// MulSmallBudget is MulSmallInto under an explicit worker budget. Each
+// output element is produced by exactly one worker with a fixed in-row
+// summation order, so the result is partition-independent.
+func MulSmallBudget(bud parallel.Budget, a, y, c *Dense) *Dense {
 	if a.Cols != y.Rows {
 		panic("linalg: MulSmall dimension mismatch")
 	}
@@ -151,10 +170,10 @@ func MulSmallInto(a, y, c *Dense) *Dense {
 	} else if c.Rows != n || c.Cols != p {
 		panic("linalg: MulSmallInto output shape mismatch")
 	}
-	if parallel.Serial(n) {
+	if bud.Serial(n) {
 		mulSmallRows(a, y, c, 0, n)
 	} else {
-		parallel.ForBlock(n, func(lo, hi int) { mulSmallRows(a, y, c, lo, hi) })
+		bud.ForBlock(n, func(lo, hi int) { mulSmallRows(a, y, c, lo, hi) })
 	}
 	return c
 }

@@ -10,10 +10,17 @@ import (
 // deg is the weighted degree vector (the dense degrees array the paper
 // uses for the diagonal). One call is one SpMV.
 func LapMulVec(g *graph.CSR, deg []float64, x, p []float64) {
+	LapMulVecBudget(parallel.Live(), g, deg, x, p)
+}
+
+// LapMulVecBudget is LapMulVec under an explicit worker budget. Each
+// output element is produced by one worker with a fixed adjacency-order
+// summation, so results are partition-independent.
+func LapMulVecBudget(bud parallel.Budget, g *graph.CSR, deg []float64, x, p []float64) {
 	checkLen(len(x), g.NumV)
 	checkLen(len(p), g.NumV)
 	if g.Weighted() {
-		parallel.ForBlock(g.NumV, func(lo, hi int) {
+		bud.ForBlock(g.NumV, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var sum float64
 				o0, o1 := g.Offsets[i], g.Offsets[i+1]
@@ -25,7 +32,7 @@ func LapMulVec(g *graph.CSR, deg []float64, x, p []float64) {
 		})
 		return
 	}
-	parallel.ForBlock(g.NumV, func(lo, hi int) {
+	bud.ForBlock(g.NumV, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var sum float64
 			for _, j := range g.Adj[g.Offsets[i]:g.Offsets[i+1]] {
@@ -40,9 +47,14 @@ func LapMulVec(g *graph.CSR, deg []float64, x, p []float64) {
 // step 1 of the TripleProd phase. The irregular reads x[g.Adj[k]] are the
 // accesses whose cost tracks the adjacency-gap distribution of Figure 2.
 func LapMulDense(g *graph.CSR, deg []float64, s *Dense) *Dense {
+	return LapMulDenseBudget(parallel.Live(), g, deg, s)
+}
+
+// LapMulDenseBudget is LapMulDense under an explicit worker budget.
+func LapMulDenseBudget(bud parallel.Budget, g *graph.CSR, deg []float64, s *Dense) *Dense {
 	p := NewDense(s.Rows, s.Cols)
 	for j := 0; j < s.Cols; j++ {
-		LapMulVec(g, deg, s.Col(j), p.Col(j))
+		LapMulVecBudget(bud, g, deg, s.Col(j), p.Col(j))
 	}
 	return p
 }

@@ -26,6 +26,14 @@ func LapMulDenseTiled(g *graph.CSR, deg []float64, s *Dense) *Dense {
 // workspace-backed caller passes all three and the steady-state kernel
 // performs no O(n·s) allocations.
 func LapMulDenseTiledInto(g *graph.CSR, deg []float64, s, p *Dense, srm, prm []float64) *Dense {
+	return LapMulDenseTiledBudget(parallel.Live(), g, deg, s, p, srm, prm)
+}
+
+// LapMulDenseTiledBudget is LapMulDenseTiledInto under an explicit worker
+// budget. Every output element is produced by exactly one worker with a
+// fixed per-element accumulation order, so the result is
+// partition-independent.
+func LapMulDenseTiledBudget(bud parallel.Budget, g *graph.CSR, deg []float64, s, p *Dense, srm, prm []float64) *Dense {
 	n, cols := s.Rows, s.Cols
 	if n != g.NumV {
 		panic("linalg: LapMulDenseTiled dimension mismatch")
@@ -46,24 +54,24 @@ func LapMulDenseTiledInto(g *graph.CSR, deg []float64, s, p *Dense, srm, prm []f
 	}
 	srm, prm = srm[:n*cols], prm[:n*cols]
 	// Pack S row-major.
-	if parallel.Serial(n) {
+	if bud.Serial(n) {
 		packRowMajor(s, srm, 0, n, cols)
 	} else {
-		parallel.ForBlock(n, func(lo, hi int) { packRowMajor(s, srm, lo, hi, cols) })
+		bud.ForBlock(n, func(lo, hi int) { packRowMajor(s, srm, lo, hi, cols) })
 	}
 	// One edge-list pass advances all cols columns. Each vertex's output
 	// row doubles as its accumulator — rows partition across blocks, so
 	// this is race-free and saves a per-block scratch allocation.
-	if parallel.Serial(n) {
+	if bud.Serial(n) {
 		fusedRows(g, deg, srm, prm, 0, n, cols)
 	} else {
-		parallel.ForBlock(n, func(lo, hi int) { fusedRows(g, deg, srm, prm, lo, hi, cols) })
+		bud.ForBlock(n, func(lo, hi int) { fusedRows(g, deg, srm, prm, lo, hi, cols) })
 	}
 	// Unpack to the column-major result.
-	if parallel.Serial(n) {
+	if bud.Serial(n) {
 		unpackRowMajor(p, prm, 0, n, cols)
 	} else {
-		parallel.ForBlock(n, func(lo, hi int) { unpackRowMajor(p, prm, lo, hi, cols) })
+		bud.ForBlock(n, func(lo, hi int) { unpackRowMajor(p, prm, lo, hi, cols) })
 	}
 	return p
 }

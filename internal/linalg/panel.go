@@ -1,8 +1,6 @@
 package linalg
 
 import (
-	"sync"
-
 	"repro/internal/parallel"
 )
 
@@ -20,13 +18,18 @@ import (
 const PanelCols = 8
 
 // DDotPanel appends ⟨cols[j], work⟩_D (plain inner products when d is
-// nil) for every column to out and returns it. The row dimension is
-// blocked exactly like DotWith — per-block partials combined serially in
-// block order — so results are deterministic for a fixed worker count.
-// partials is the per-block arena (capacity ≥ ReduceBlocks(n)·len(cols),
-// grown when short); out should have spare capacity for len(cols) more
-// entries to keep the call allocation-free.
+// nil) for every column to out and returns it. The row dimension runs
+// over the fixed TileRows tiling with per-tile partials combined serially
+// in tile order — exactly like DotWith — so results are bitwise identical
+// for every worker budget. partials is the per-tile arena (capacity ≥
+// ReduceBlocks(n)·len(cols), grown when short); out should have spare
+// capacity for len(cols) more entries to keep the call allocation-free.
 func DDotPanel(cols [][]float64, work, d []float64, out, partials []float64) []float64 {
+	return DDotPanelBudget(parallel.Live(), cols, work, d, out, partials)
+}
+
+// DDotPanelBudget is DDotPanel running under an explicit worker budget.
+func DDotPanelBudget(bud parallel.Budget, cols [][]float64, work, d []float64, out, partials []float64) []float64 {
 	k := len(cols)
 	if k == 0 {
 		return out
@@ -36,30 +39,30 @@ func DDotPanel(cols [][]float64, work, d []float64, out, partials []float64) []f
 	for i := 0; i < k; i++ {
 		out = append(out, 0)
 	}
-	nb := ReduceBlocks(n)
-	if nb == 1 {
+	tiles := ReduceBlocks(n)
+	if tiles == 1 {
 		dDotPanelRange(cols, work, d, 0, n, out[base:])
 		return out
 	}
 	var buf []float64
-	if cap(partials) >= nb*k {
-		buf = partials[:nb*k]
+	if cap(partials) >= tiles*k {
+		buf = partials[:tiles*k]
 	} else {
-		buf = make([]float64, nb*k)
+		buf = make([]float64, tiles*k)
 	}
-	var wg sync.WaitGroup
-	wg.Add(nb)
-	for w := 0; w < nb; w++ {
-		go func(w int) {
-			defer wg.Done()
-			dDotPanelRange(cols, work, d, w*n/nb, (w+1)*n/nb, buf[w*k:(w+1)*k])
-		}(w)
+	if bud.Workers() <= 1 {
+		for t := 0; t < tiles; t++ {
+			dDotPanelRange(cols, work, d, t*n/tiles, (t+1)*n/tiles, buf[t*k:(t+1)*k])
+		}
+	} else {
+		forTiles(bud, n, tiles, func(t, lo, hi int) {
+			dDotPanelRange(cols, work, d, lo, hi, buf[t*k:(t+1)*k])
+		})
 	}
-	wg.Wait()
 	for j := 0; j < k; j++ {
 		var s float64
-		for w := 0; w < nb; w++ {
-			s += buf[w*k+j]
+		for t := 0; t < tiles; t++ {
+			s += buf[t*k+j]
 		}
 		out[base+j] = s
 	}
@@ -144,17 +147,22 @@ func dDotChunkRange(cols [][]float64, work, d []float64, lo, hi int, acc []float
 // order is fixed by the chunk walk, so results are deterministic
 // regardless of the row partition.
 func SubtractScaled(work []float64, cols [][]float64, coeffs []float64) {
+	SubtractScaledBudget(parallel.Live(), work, cols, coeffs)
+}
+
+// SubtractScaledBudget is SubtractScaled under an explicit worker budget.
+func SubtractScaledBudget(bud parallel.Budget, work []float64, cols [][]float64, coeffs []float64) {
 	if len(cols) != len(coeffs) {
 		panic("linalg: SubtractScaled column/coefficient mismatch")
 	}
 	if len(cols) == 0 {
 		return
 	}
-	if parallel.Serial(len(work)) {
+	if bud.Serial(len(work)) {
 		subScaledRange(work, cols, coeffs, 0, len(work))
 		return
 	}
-	parallel.ForBlock(len(work), func(lo, hi int) {
+	bud.ForBlock(len(work), func(lo, hi int) {
 		subScaledRange(work, cols, coeffs, lo, hi)
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Incremental performs Modified Gram-Schmidt one column at a time, so the
@@ -17,6 +18,7 @@ import (
 type Incremental struct {
 	n       int
 	d       []float64 // nil = plain orthogonalization
+	bud     parallel.Budget
 	sc      *Scratch
 	pooled  bool
 	kept    [][]float64
@@ -40,6 +42,13 @@ func NewIncremental(n int, d []float64) *Incremental {
 // phase performs no O(n)-sized allocations and Result aliases scratch
 // storage (valid until the scratch's next use).
 func NewIncrementalScratch(n int, d []float64, sc *Scratch) *Incremental {
+	return NewIncrementalBudget(parallel.Live(), n, d, sc)
+}
+
+// NewIncrementalBudget is NewIncrementalScratch running under an explicit
+// worker budget; every Add reuses the same budget, so a coupled layout's
+// orthogonalization fan-out is pinned for the whole run.
+func NewIncrementalBudget(bud parallel.Budget, n int, d []float64, sc *Scratch) *Incremental {
 	pooled := sc != nil
 	if !pooled {
 		// Start with room for a handful of columns; Add grows on demand.
@@ -52,14 +61,15 @@ func NewIncrementalScratch(n int, d []float64, sc *Scratch) *Incremental {
 		sc.Ensure(n, cols)
 	}
 	s0 := sc.cols[0]
-	linalg.Fill(s0, 1/math.Sqrt(float64(n)))
+	linalg.FillBudget(bud, s0, 1/math.Sqrt(float64(n)))
 	return &Incremental{
 		n:       n,
 		d:       d,
+		bud:     bud,
 		sc:      sc,
 		pooled:  pooled,
 		kept:    sc.cols[:1],
-		keptDN:  append(sc.dNorms[:0], dNormP(s0, d, sc.partials)),
+		keptDN:  append(sc.dNorms[:0], dNormP(bud, s0, d, sc.partials)),
 		keptIdx: sc.keptIdx[:0],
 	}
 }
@@ -78,22 +88,22 @@ func (inc *Incremental) Add(col []float64) bool {
 	}
 	sc := inc.sc
 	work := sc.work
-	nrm := norm2P(col, sc.partials)
+	nrm := norm2P(inc.bud, col, sc.partials)
 	if nrm <= DropTolerance {
 		inc.dropped++
 		return false
 	}
-	linalg.ScaledCopy(work, col, 1/nrm)
+	linalg.ScaledCopyBudget(inc.bud, work, col, 1/nrm)
 	// The same panel-blocked projection sweep as the batch MGS path, so
 	// coupled and decoupled runs stay bitwise identical.
-	sc.coeffs = projectPanels(inc.kept, inc.keptDN, work, inc.d, sc.coeffs[:0], sc)
-	res := norm2P(work, sc.partials)
+	sc.coeffs = projectPanels(inc.bud, inc.kept, inc.keptDN, work, inc.d, sc.coeffs[:0], sc)
+	res := norm2P(inc.bud, work, sc.partials)
 	if res <= DropTolerance {
 		inc.dropped++
 		return false
 	}
 	out := sc.cols[len(inc.kept)]
-	dn := linalg.ScaledCopyDDot(out, work, inc.d, 1/res, sc.partials)
+	dn := linalg.ScaledCopyDDotBudget(inc.bud, out, work, inc.d, 1/res, sc.partials)
 	inc.kept = sc.cols[:len(inc.kept)+1]
 	inc.keptDN = append(inc.keptDN, dn)
 	inc.keptIdx = append(inc.keptIdx, idx)
@@ -110,7 +120,7 @@ func (inc *Incremental) grow() {
 	}
 	sc := NewScratch(inc.n, ns)
 	for j := range inc.kept {
-		linalg.CopyVec(sc.cols[j], inc.kept[j])
+		linalg.CopyVecBudget(inc.bud, sc.cols[j], inc.kept[j])
 	}
 	sc.dNorms = append(sc.dNorms[:0], inc.keptDN...)
 	sc.keptIdx = append(sc.keptIdx[:0], inc.keptIdx...)

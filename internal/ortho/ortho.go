@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Method selects the orthogonalization procedure.
@@ -88,6 +89,14 @@ func DOrthogonalize(b *linalg.Dense, d []float64, method Method) Result {
 // scratch's next use and the numbers are bit-identical to the
 // fresh-allocation run.
 func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scratch) Result {
+	return DOrthogonalizeBudget(parallel.Live(), b, d, method, sc)
+}
+
+// DOrthogonalizeBudget is DOrthogonalizeScratch running under an explicit
+// worker budget. The budget only sets how many goroutines each kernel
+// fans out across; the fixed row tiling of every reduction makes the
+// numbers bitwise identical for every budget, including the serial path.
+func DOrthogonalizeBudget(bud parallel.Budget, b *linalg.Dense, d []float64, method Method, sc *Scratch) Result {
 	n, s := b.Rows, b.Cols
 	pooled := sc != nil
 	if pooled {
@@ -97,10 +106,10 @@ func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scra
 	}
 	// s0 = 1/√n: the degenerate direction every column must be cleaned of.
 	s0 := sc.cols[0]
-	linalg.Fill(s0, 1/math.Sqrt(float64(n)))
+	linalg.FillBudget(bud, s0, 1/math.Sqrt(float64(n)))
 
 	kept := sc.cols[:1]
-	keptDN := append(sc.dNorms[:0], dNormP(s0, d, sc.partials))
+	keptDN := append(sc.dNorms[:0], dNormP(bud, s0, d, sc.partials))
 	keptIdx := sc.keptIdx[:0]
 
 	work := sc.work
@@ -112,33 +121,33 @@ func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scra
 		// normalizes each column before orthogonalizing). The norm is taken
 		// over the source column and folded into the copy, one fused pass
 		// instead of copy + norm + scale.
-		nrm := norm2P(src, sc.partials)
+		nrm := norm2P(bud, src, sc.partials)
 		if nrm <= DropTolerance {
 			dropped++
 			continue
 		}
-		linalg.ScaledCopy(work, src, 1/nrm)
+		linalg.ScaledCopyBudget(bud, work, src, 1/nrm)
 		switch method {
 		case CGS:
 			// All coefficients from the original vector at once, then one
 			// combined update — the Level-2 formulation of Table 7. Two
 			// sweeps over memory total, versus a sweep pair per panel.
-			coeffs = linalg.DDotPanel(kept, work, d, coeffs[:0], sc.panelPartials)
+			coeffs = linalg.DDotPanelBudget(bud, kept, work, d, coeffs[:0], sc.panelPartials)
 			for j := range coeffs {
 				coeffs[j] /= keptDN[j]
 			}
-			linalg.SubtractScaled(work, kept, coeffs)
+			linalg.SubtractScaledBudget(bud, work, kept, coeffs)
 		case MGSLevel1:
 			// The original Level-1 sweep: every D-inner product reuses one
 			// partials buffer, so the s² dots of the phase allocate nothing.
 			for j := range kept {
-				c := dDotP(kept[j], work, d, sc.partials) / keptDN[j]
-				linalg.Axpy(-c, kept[j], work)
+				c := dDotP(bud, kept[j], work, d, sc.partials) / keptDN[j]
+				linalg.AxpyBudget(bud, -c, kept[j], work)
 			}
 		default:
-			coeffs = projectPanels(kept, keptDN, work, d, coeffs, sc)
+			coeffs = projectPanels(bud, kept, keptDN, work, d, coeffs, sc)
 		}
-		res := norm2P(work, sc.partials)
+		res := norm2P(bud, work, sc.partials)
 		if res <= DropTolerance {
 			dropped++
 			continue
@@ -146,7 +155,7 @@ func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scra
 		// Keep: normalize into the arena column and compute its D-norm in
 		// the same fused pass.
 		col := sc.cols[len(kept)]
-		dn := linalg.ScaledCopyDDot(col, work, d, 1/res, sc.partials)
+		dn := linalg.ScaledCopyDDotBudget(bud, col, work, d, 1/res, sc.partials)
 		kept = sc.cols[:len(kept)+1]
 		keptDN = append(keptDN, dn)
 		keptIdx = append(keptIdx, i)
@@ -174,37 +183,37 @@ func DOrthogonalizeScratch(b *linalg.Dense, d []float64, method Method, sc *Scra
 // applies the combined update. Both DOrthogonalizeScratch and the coupled
 // Incremental route through this function, so the two paths stay bitwise
 // identical. Returns the (reusable) coefficient slice.
-func projectPanels(kept [][]float64, keptDN []float64, work, d, coeffs []float64, sc *Scratch) []float64 {
+func projectPanels(bud parallel.Budget, kept [][]float64, keptDN []float64, work, d, coeffs []float64, sc *Scratch) []float64 {
 	for p0 := 0; p0 < len(kept); p0 += linalg.PanelCols {
 		p1 := p0 + linalg.PanelCols
 		if p1 > len(kept) {
 			p1 = len(kept)
 		}
 		panel := kept[p0:p1]
-		coeffs = linalg.DDotPanel(panel, work, d, coeffs[:0], sc.panelPartials)
+		coeffs = linalg.DDotPanelBudget(bud, panel, work, d, coeffs[:0], sc.panelPartials)
 		for j := range coeffs {
 			coeffs[j] /= keptDN[p0+j]
 		}
-		linalg.SubtractScaled(work, panel, coeffs)
+		linalg.SubtractScaledBudget(bud, work, panel, coeffs)
 	}
 	return coeffs
 }
 
 // dDotP computes ⟨x,y⟩ or ⟨x,y⟩_D reusing the given reduction-partials
 // buffer; results are bit-identical to linalg.Dot / linalg.DDot.
-func dDotP(x, y, d, partials []float64) float64 {
+func dDotP(bud parallel.Budget, x, y, d, partials []float64) float64 {
 	if d == nil {
-		return linalg.DotWith(x, y, partials)
+		return linalg.DotBudget(bud, x, y, partials)
 	}
-	return linalg.DDotWith(x, d, y, partials)
+	return linalg.DDotBudget(bud, x, d, y, partials)
 }
 
 // dNormP computes ⟨x,x⟩_D with the shared partials buffer.
-func dNormP(x, d, partials []float64) float64 {
-	return dDotP(x, x, d, partials)
+func dNormP(bud parallel.Budget, x, d, partials []float64) float64 {
+	return dDotP(bud, x, x, d, partials)
 }
 
 // norm2P computes ‖x‖₂ with the shared partials buffer.
-func norm2P(x, partials []float64) float64 {
-	return math.Sqrt(linalg.DotWith(x, x, partials))
+func norm2P(bud parallel.Budget, x, partials []float64) float64 {
+	return math.Sqrt(linalg.DotBudget(bud, x, x, partials))
 }

@@ -1,0 +1,168 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Budget is an explicit worker-count budget for the fan-out primitives.
+// The zero value is "live": it follows runtime.GOMAXPROCS at each use,
+// matching the package-level For/ForBlock helpers. A fixed budget
+// (FixedBudget, SnapshotBudget) pins the worker count for its lifetime, so
+// a layout that captures one budget at entry keeps a stable partition even
+// while a harness sweeps GOMAXPROCS underneath it — the mid-layout
+// repartitioning race the PR-6 scaling work closes. Budgets are small
+// values; copy them freely.
+type Budget struct{ p int }
+
+// FixedBudget returns a budget pinned to p workers (values below 1 pin to
+// one worker, i.e. fully serial execution).
+func FixedBudget(p int) Budget {
+	if p < 1 {
+		p = 1
+	}
+	return Budget{p: p}
+}
+
+// SnapshotBudget captures the current live worker count (GOMAXPROCS) as a
+// fixed budget: the once-per-layout snapshot that keeps every kernel of a
+// run on the same partition.
+func SnapshotBudget() Budget {
+	return FixedBudget(runtime.GOMAXPROCS(0))
+}
+
+// Live returns the zero budget, which re-reads GOMAXPROCS at every use —
+// the legacy behavior of the package-level helpers.
+func Live() Budget {
+	return Budget{}
+}
+
+// Fixed reports whether the budget is pinned (false for the live budget).
+func (b Budget) Fixed() bool {
+	return b.p > 0
+}
+
+// Workers reports the number of workers loops run under this budget fan
+// out to: the pinned count for a fixed budget, GOMAXPROCS for a live one.
+func (b Budget) Workers() int {
+	if b.p > 0 {
+		return b.p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Serial reports whether a length-n loop will run on one worker under
+// this budget. Hot kernels branch on it to run a plain loop instead of
+// For/ForBlock: a func literal passed to those escapes to the heap, so
+// skipping the call skips the closure allocation.
+func (b Budget) Serial(n int) bool {
+	return b.Workers() <= 1 || n < 2*MinGrain
+}
+
+// For executes body(i) for every i in [0, n) using up to Workers()
+// goroutines, in contiguous per-worker blocks (static scheduling).
+func (b Budget) For(n int, body func(i int)) {
+	b.ForBlock(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlock divides [0, n) into one contiguous block per worker and runs
+// body(lo, hi) on each block concurrently.
+func (b Budget) ForBlock(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := blockWorkers(n, b.Workers())
+	if p <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic executes body(i) for every i in [0, n) with dynamic
+// scheduling; see ForDynamicBlock.
+func (b Budget) ForDynamic(n, chunk int, body func(i int)) {
+	b.ForDynamicBlock(n, chunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForDynamicBlock is the block form of ForDynamic: workers repeatedly
+// claim [lo, hi) chunks of the given size until the range is exhausted.
+// Worker count is clamped to the number of chunks, so a short irregular
+// loop never spawns goroutines that would find the counter exhausted.
+func (b Budget) ForDynamicBlock(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = MinGrain
+	}
+	p := dynamicWorkers(n, chunk, b.Workers())
+	if p <= 1 {
+		body(0, n)
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// blockWorkers clamps a static partition's worker count so every worker
+// gets at least MinGrain iterations (and short loops run serially).
+func blockWorkers(n, p int) int {
+	if p <= 1 || n < 2*MinGrain {
+		return 1
+	}
+	if maxB := (n + MinGrain - 1) / MinGrain; p > maxB {
+		p = maxB
+	}
+	return p
+}
+
+// dynamicWorkers clamps a dynamic loop's worker count to the number of
+// chunks: with fewer chunks than workers the surplus goroutines would
+// only spin the claim counter once and exit, pure spawn overhead.
+func dynamicWorkers(n, chunk, p int) int {
+	if p <= 1 || n <= chunk {
+		return 1
+	}
+	if chunks := (n + chunk - 1) / chunk; p > chunks {
+		p = chunks
+	}
+	return p
+}

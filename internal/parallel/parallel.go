@@ -2,13 +2,14 @@
 // compute kernel in this repository: grained parallel loops over index
 // ranges and parallel reductions. All primitives degrade to straight serial
 // loops when only one worker is available, so single-threaded baselines pay
-// no synchronization cost.
+// no synchronization cost. The package-level helpers follow the live
+// GOMAXPROCS setting; kernels that must keep a stable partition for a
+// whole run thread a Budget through instead (see budget.go).
 package parallel
 
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // MinGrain is the smallest per-worker chunk of loop iterations worth the
@@ -17,13 +18,15 @@ const MinGrain = 1024
 
 // Workers reports the number of workers parallel loops will fan out to.
 // It follows runtime.GOMAXPROCS so benchmark harnesses can sweep core
-// counts the way the paper sweeps 1..28 cores.
+// counts the way the paper sweeps 1..28 cores. Kernels that must keep a
+// stable partition across a whole run capture a Budget once instead of
+// calling this repeatedly.
 func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
 // Serial reports whether a length-n loop will run on one worker. Hot
-// kernels branch on it to run a plain loop instead of calling For /
+// kernels branch on it to run a plain loop instead of For /
 // ForBlock: a func literal passed to those escapes to the heap (its
 // parameter flows into goroutines), so skipping the call skips the
 // closure allocation — the difference between a steady-state
@@ -37,39 +40,14 @@ func Serial(n int) bool {
 // worker) so that memory access within a worker stays sequential, matching
 // the static scheduling the paper's OpenMP pragmas use.
 func For(n int, body func(i int)) {
-	ForBlock(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	Live().For(n, body)
 }
 
 // ForBlock divides [0, n) into one contiguous block per worker and runs
 // body(lo, hi) on each block concurrently. It is the preferred primitive
 // for kernels that carry per-block state (local accumulators, buffers).
 func ForBlock(n int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	p := Workers()
-	if p <= 1 || n < 2*MinGrain {
-		body(0, n)
-		return
-	}
-	if p > (n+MinGrain-1)/MinGrain {
-		p = (n + MinGrain - 1) / MinGrain
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		lo := w * n / p
-		hi := (w + 1) * n / p
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	Live().ForBlock(n, body)
 }
 
 // ForDynamic executes body(i) for every i in [0, n) with dynamic
@@ -77,47 +55,13 @@ func ForBlock(n int, body func(lo, hi int)) {
 // from a shared counter. Use it for loops with irregular per-iteration
 // cost, e.g. per-vertex adjacency scans on skewed-degree graphs.
 func ForDynamic(n, chunk int, body func(i int)) {
-	ForDynamicBlock(n, chunk, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	Live().ForDynamic(n, chunk, body)
 }
 
 // ForDynamicBlock is the block form of ForDynamic: workers repeatedly claim
 // [lo, hi) chunks of the given size until the range is exhausted.
 func ForDynamicBlock(n, chunk int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if chunk <= 0 {
-		chunk = MinGrain
-	}
-	p := Workers()
-	if p <= 1 || n <= chunk {
-		body(0, n)
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	Live().ForDynamicBlock(n, chunk, body)
 }
 
 // Run executes the given thunks concurrently and waits for all of them.
@@ -256,12 +200,9 @@ func ArgmaxInt32(x []int32) int {
 // reduceBlocks runs block(lo, hi) over one contiguous block per worker and
 // returns the per-block results in block order.
 func reduceBlocks[T any](n int, block func(lo, hi int) T) []T {
-	p := Workers()
-	if p <= 1 || n < 2*MinGrain {
+	p := blockWorkers(n, Workers())
+	if p <= 1 {
 		return []T{block(0, n)}
-	}
-	if p > (n+MinGrain-1)/MinGrain {
-		p = (n + MinGrain - 1) / MinGrain
 	}
 	out := make([]T, p)
 	var wg sync.WaitGroup

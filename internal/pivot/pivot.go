@@ -70,6 +70,11 @@ type Scratch struct {
 	perm    []int32
 	msArena []int32
 	msRows  [][]int32
+	// Per-tile argmax arenas for the fused widen/min/argmax reduction,
+	// sized by linalg.ReduceBlocks(n) — a function of n only, so the
+	// arenas can never be desynchronized by a worker-count change.
+	amIdx  []int
+	amVals []int32
 }
 
 // ensureMS sizes the RandomMS-only buffers: the permutation vector and
@@ -109,7 +114,16 @@ func (sc *Scratch) Ensure(n int) {
 		sc.DMin = make([]int32, n)
 	}
 	sc.Dist, sc.DMin = sc.Dist[:n], sc.DMin[:n]
+	if tiles := linalg.ReduceBlocks(n); cap(sc.amIdx) < tiles {
+		sc.amIdx = make([]int, tiles)
+		sc.amVals = make([]int32, tiles)
+	}
 }
+
+// ArgmaxArenas exposes the per-tile argmax arenas (sized by Ensure) for
+// callers that run the fused widen/min/argmax reduction themselves — the
+// coupled core path, which owns the pivot loop but reuses this scratch.
+func (sc *Scratch) ArgmaxArenas() ([]int, []int32) { return sc.amIdx, sc.amVals }
 
 // Phase runs the complete BFS phase: s traversals from pivots chosen by
 // the given strategy, writing hop distances into the n×s column-major
@@ -125,6 +139,17 @@ func Phase(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.O
 // strategies consume the scratch — plain Random keeps its per-worker
 // private distance vectors — and results are bit-identical either way.
 func PhaseScratch(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
+	return PhaseBudget(parallel.SnapshotBudget(), g, b, start, strat, opt, sc, onTraversal, onOther)
+}
+
+// PhaseBudget is PhaseScratch running under an explicit worker budget.
+// Live budgets are snapshotted once on entry, so every traversal, fill,
+// and reduction of the phase shares one worker count — a GOMAXPROCS
+// change mid-phase can no longer re-partition running kernels.
+func PhaseBudget(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
+	if !bud.Fixed() {
+		bud = parallel.SnapshotBudget()
+	}
 	if onTraversal == nil {
 		onTraversal = func(f func()) { f() }
 	}
@@ -133,15 +158,15 @@ func PhaseScratch(g *graph.CSR, b *linalg.Dense, start int32, strat Strategy, op
 	}
 	switch strat {
 	case Random:
-		return randomPhase(g, b, start, onTraversal, onOther)
+		return randomPhase(bud, g, b, start, onTraversal, onOther)
 	case RandomMS:
-		return randomMSPhase(g, b, start, sc, onTraversal, onOther)
+		return randomMSPhase(bud, g, b, start, sc, onTraversal, onOther)
 	default:
-		return kCentersPhase(g, b, start, opt, sc, onTraversal, onOther)
+		return kCentersPhase(bud, g, b, start, opt, sc, onTraversal, onOther)
 	}
 }
 
-func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
+func kCentersPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	n := g.NumV
 	s := b.Cols
 	if sc == nil {
@@ -149,14 +174,14 @@ func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, 
 	} else {
 		sc.Ensure(n)
 	}
-	runner := bfs.NewRunnerScratch(g, opt, sc.BFS)
+	runner := bfs.NewRunnerBudget(g, opt, sc.BFS, bud)
 	dist, dmin := sc.Dist, sc.DMin
-	if parallel.Serial(n) {
+	if bud.Serial(n) {
 		for i := range dmin {
 			dmin[i] = int32(1) << 30
 		}
 	} else {
-		parallel.For(n, func(i int) { dmin[i] = int32(1) << 30 })
+		bud.For(n, func(i int) { dmin[i] = int32(1) << 30 })
 	}
 
 	st := PhaseStats{
@@ -175,7 +200,7 @@ func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, 
 		// d(j) ← min(d(j), b_i(j)), and pick the next source as the
 		// farthest vertex from all previous sources (lines 13-15 of
 		// Algorithm 1).
-		src = int32(linalg.WidenMinArgmax(b.Col(i), dmin, dist))
+		src = int32(linalg.WidenMinArgmaxBudget(bud, b.Col(i), dmin, dist, sc.amIdx, sc.amVals))
 	}
 	for i = 0; i < s; i++ {
 		st.Sources = append(st.Sources, src)
@@ -190,7 +215,7 @@ func kCentersPhase(g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, 
 // randomPhase runs serial BFSes concurrently: pivot i is processed by
 // whichever worker claims it, each traversal single-threaded. With s ≥
 // workers this keeps every core busy without per-level barriers.
-func randomPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOther func(f func())) PhaseStats {
+func randomPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOther func(f func())) PhaseStats {
 	n := g.NumV
 	s := b.Cols
 	st := PhaseStats{Sources: make([]int32, s)}
@@ -211,7 +236,7 @@ func randomPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOthe
 		}
 	})
 	onTraversal(func() {
-		workers := parallel.Workers()
+		workers := bud.Workers()
 		var next int64
 		var mu sync.Mutex
 		var wg sync.WaitGroup
@@ -253,7 +278,7 @@ func randomPhase(g *graph.CSR, b *linalg.Dense, start int32, onTraversal, onOthe
 // scans across all searches in a batch. With a scratch the batch distance
 // rows, the pivot permutation, and the traversal masks all come from
 // pooled buffers, so the steady-state phase performs no O(n) allocations.
-func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
+func randomMSPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	n := g.NumV
 	s := b.Cols
 	if sc == nil {
@@ -261,7 +286,7 @@ func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, sc *Scratch, onTr
 	}
 	sc.ensureMS(n)
 	if sc.BFS == nil {
-		sc.BFS = bfs.NewScratch(n, parallel.Workers())
+		sc.BFS = bfs.NewScratch(n, bud.Workers())
 	}
 	st := PhaseStats{Sources: make([]int32, s)}
 	onOther(func() {
@@ -282,12 +307,12 @@ func randomMSPhase(g *graph.CSR, b *linalg.Dense, start int32, sc *Scratch, onTr
 	// captured variables, so the steady-state loop allocates nothing.
 	var batch, hi int
 	traverse := func() {
-		ms := bfs.MSBFSScratch(g, st.Sources[batch:hi], sc.msRows[:hi-batch], sc.BFS)
+		ms := bfs.MSBFSBudget(bud, g, st.Sources[batch:hi], sc.msRows[:hi-batch], sc.BFS)
 		st.ScannedEdges += ms.ScannedEdges
 	}
 	widen := func() {
 		for i := batch; i < hi; i++ {
-			linalg.Int32ToFloat64(b.Col(i), sc.msRows[i-batch])
+			linalg.Int32ToFloat64Budget(bud, b.Col(i), sc.msRows[i-batch])
 		}
 	}
 	for batch = 0; batch < s; batch += 64 {

@@ -15,8 +15,11 @@
 // the orthogonalization result) are valid only until the workspace's next
 // run; callers that retain results across runs must deep-copy them first
 // (core.Layout.Clone). Results computed through a workspace are
-// bit-identical to a fresh-allocation run with the same options and
-// worker count.
+// bit-identical to a fresh-allocation run with the same options, for any
+// worker budget: every reduction arena here is sized by the fixed
+// problem-shape tiling (linalg.ReduceBlocks), never by the worker count,
+// so a GOMAXPROCS change between or during runs cannot leave an arena
+// short or change any sum's combine order.
 package workspace
 
 import (
@@ -54,8 +57,10 @@ type Workspace struct {
 	P []float64
 	// Z backs the s×s projected matrix Sᵀ(LS).
 	Z []float64
-	// GemmPartials is the per-block panel arena of the deterministic AᵀB
-	// reduction.
+	// GemmPartials is the per-tile panel arena of the deterministic AᵀB
+	// reduction, sized by linalg.ReduceBlocks(n) — a function of n only,
+	// so no worker-count change can desynchronize it from the kernel's
+	// tile grid.
 	GemmPartials []float64
 	// Coords backs the n×p output layout. The Layout returned from a
 	// workspace-backed run aliases it; Clone before the next run if

@@ -6,7 +6,11 @@
 // API for production-style use: POST /graphs uploads more graphs into a
 // byte-budgeted catalog, and POST /jobs runs layouts asynchronously on a
 // bounded worker pool with cancellation (DELETE /jobs/{id}) and
-// per-phase progress (GET /jobs/{id}). See the README for curl examples.
+// per-phase progress (GET /jobs/{id}). Graphs are mutable in place:
+// PATCH /graphs/{name} applies edge/vertex mutation batches and queues a
+// warm-start refinement of the previous layout, whose coordinate deltas
+// stream to GET /graphs/{name}/stream subscribers as versioned
+// Server-Sent Events. See the README for curl examples.
 //
 // The HTTP server is hardened for real traffic: read/write/idle
 // timeouts (so slow clients cannot pin connections), a byte-budget
@@ -63,6 +67,8 @@ func main() {
 			"graph catalog byte budget; LRU-evicts unpinned graphs (0 = default, negative = unbounded)")
 		maxUpload = flag.Int64("max-upload", 0,
 			"per-request graph upload size cap in bytes (0 = default)")
+		rebuildThreshold = flag.Int("rebuild-threshold", 0,
+			"pending mutated edges before a dynamic graph's CSR is rebuilt (0 = default, negative = rebuild only on refresh)")
 
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
@@ -101,6 +107,7 @@ func main() {
 		DataDir:              *dataDir,
 		CatalogBytes:         *catalogBytes,
 		MaxUploadBytes:       *maxUpload,
+		RebuildThreshold:     *rebuildThreshold,
 	}
 	if !*quiet {
 		cfg.AccessLog = log.New(os.Stderr, "access ", log.LstdFlags)

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dyngraph"
 	"repro/internal/graph"
 )
 
@@ -49,12 +50,20 @@ type Info struct {
 	Source   string    `json:"source"`   // where the graph came from
 	Pinned   bool      `json:"pinned"`   // pinned entries never evict
 	Added    time.Time `json:"added"`    // insertion time
+	// Dynamic marks an entry promoted to a mutable dyngraph.Graph.
+	Dynamic bool `json:"dynamic"`
+	// Generation counts content changes of this entry: it starts at 1 and
+	// is bumped by Touch, Refresh, and dynamic rebuilds. Cache layers key
+	// derived artifacts (render tiles, layouts) by (name, generation), so
+	// any mutation path that bumps it invalidates them all.
+	Generation uint64 `json:"generation"`
 }
 
 type entry struct {
 	info     Info
 	g        *graph.CSR
-	lastUsed time.Time // for LRU eviction; guarded by the catalog mutex
+	dyn      *dyngraph.Graph // non-nil once promoted to a mutable entry
+	lastUsed time.Time       // for LRU eviction; guarded by the catalog mutex
 }
 
 // Catalog is a byte-budgeted registry of named graphs, safe for
@@ -117,14 +126,15 @@ func (c *Catalog) add(name string, g *graph.CSR, source string, pinned bool) err
 	c.clock++
 	c.entries[name] = &entry{
 		info: Info{
-			Name:     name,
-			Vertices: g.NumV,
-			Edges:    g.NumEdges(),
-			Bytes:    gb,
-			Weighted: g.Weighted(),
-			Source:   source,
-			Pinned:   pinned,
-			Added:    time.Now(),
+			Name:       name,
+			Vertices:   g.NumV,
+			Edges:      g.NumEdges(),
+			Bytes:      gb,
+			Weighted:   g.Weighted(),
+			Source:     source,
+			Pinned:     pinned,
+			Added:      time.Now(),
+			Generation: 1,
 		},
 		g:        g,
 		lastUsed: time.Unix(0, c.clock),

@@ -39,6 +39,11 @@ type Report struct {
 	// Workers is the worker budget the run actually used (the snapshot
 	// taken when Options.Workers ≤ 0).
 	Workers int
+	// Warm reports that the run took the warm-start refinement path
+	// (Options.Prior accepted) instead of the full BFS+MGS pipeline.
+	Warm bool
+	// RefineSweeps counts the SGD sweeps of a warm run (0 for cold runs).
+	RefineSweeps int
 }
 
 // ParHDE computes a p-dimensional layout of the connected graph g with the
@@ -82,6 +87,30 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		bud = parallel.SnapshotBudget()
 	}
 	rep.Workers = bud.Workers()
+
+	// --- Warm start ------------------------------------------------------
+	// A small-delta prior replaces the whole pipeline with a few SGD
+	// refinement sweeps; a stale or incompatible prior falls through to
+	// the cold path below.
+	if warmEligible(g, opt) {
+		var layout *Layout
+		var err error
+		timed(&bd.Total, func() {
+			if err = ctx.Err(); err != nil {
+				return
+			}
+			NotifyPhase(ctx, "warm_refine")
+			tr.timed("warm_refine", &bd.WarmRefine, func() {
+				layout, err = warmRefine(ctx, bud, g, opt, rep)
+			})
+		})
+		rep.PhaseAllocs = tr.phases
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Warm = true
+		return layout, rep, nil
+	}
 
 	if opt.Coupled {
 		if g.Weighted() || opt.Pivots != pivot.KCenters || opt.Ortho != ortho.MGS {

@@ -18,6 +18,7 @@ type Breakdown struct {
 	Project      time.Duration // [x, y] = S·Y ("Other" in Fig. 3)
 	Centering    time.Duration // PHDE column centering / PivotMDS double centering
 	LapBuild     time.Duration // prior baseline: explicit Laplacian materialization
+	WarmRefine   time.Duration // warm-start SGD refinement (replaces all phases above)
 	Total        time.Duration // whole-run wall time
 }
 
@@ -30,7 +31,7 @@ func (b Breakdown) TripleProd() time.Duration { return b.LS + b.Gemm }
 // Other returns the non-major-phase remainder (eigensolve + projection +
 // centering), the paper's "Other" category.
 func (b Breakdown) Other() time.Duration {
-	return b.Eigensolve + b.Project + b.Centering + b.LapBuild
+	return b.Eigensolve + b.Project + b.Centering + b.LapBuild + b.WarmRefine
 }
 
 // Percentages returns the Figure 3-style split: BFS, TripleProd, DOrtho,
@@ -65,6 +66,7 @@ func (b Breakdown) Phases() []Phase {
 		{"project", b.Project},
 		{"centering", b.Centering},
 		{"lap_build", b.LapBuild},
+		{"warm_refine", b.WarmRefine},
 		{"total", b.Total},
 	}
 }

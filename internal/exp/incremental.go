@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dyngraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/quality"
+)
+
+// The incremental experiment quantifies the dynamic-graph extension: how
+// much cheaper is a warm-start refinement of the previous layout than a
+// cold ParHDE run after a small edge delta, and what does the shortcut
+// cost in quality (sampled stress, neighborhood preservation)?
+
+// IncrementalEntry is one delta-fraction row of the incremental
+// experiment.
+type IncrementalEntry struct {
+	DeltaEdges    int64   `json:"deltaEdges"`
+	DeltaFraction float64 `json:"deltaFraction"`
+	ColdSeconds   float64 `json:"coldSeconds"`
+	WarmSeconds   float64 `json:"warmSeconds"`
+	Speedup       float64 `json:"speedup"`
+	RefineSweeps  int     `json:"refineSweeps"`
+	ColdStress    float64 `json:"coldStress"`
+	WarmStress    float64 `json:"warmStress"`
+	ColdNbhd      float64 `json:"coldNbhd"`
+	WarmNbhd      float64 `json:"warmNbhd"`
+}
+
+// IncrementalReport is the machine-readable record `hdebench -exp
+// incremental` emits next to the standard bench JSON.
+type IncrementalReport struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"goVersion"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Factor     int                `json:"factor"`
+	Reps       int                `json:"reps"`
+	Subspace   int                `json:"subspace"`
+	Graph      string             `json:"graph"`
+	Vertices   int                `json:"vertices"`
+	Edges      int64              `json:"edges"`
+	Entries    []IncrementalEntry `json:"entries"`
+}
+
+// flipEdges applies `count` deterministic edge flips to a dynamic copy of
+// base: mostly inserts of random non-edges, with every eighth flip
+// deleting an existing edge, mimicking an evolving graph. Returns the
+// mutated snapshot and the number of flips applied.
+func flipEdges(base *graph.CSR, count int64, seed uint64) (*graph.CSR, int64, error) {
+	d, err := dyngraph.New(base, dyngraph.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Existing edges (u < v) to draw deletions from.
+	edges := make([][2]int32, 0, base.NumEdges())
+	for u := int32(0); int(u) < base.NumV; u++ {
+		for _, v := range base.Neighbors(u) {
+			if v > u {
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+	}
+	n := int32(base.NumV)
+	h := seed
+	next := func() uint64 {
+		h += 0x9e3779b97f4a7c15
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	var batch []dyngraph.Mutation
+	seen := map[[2]int32]bool{}
+	var applied int64
+	for applied < count {
+		if applied%8 == 7 && len(edges) > 0 {
+			e := edges[next()%uint64(len(edges))]
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			batch = append(batch, dyngraph.Mutation{Op: dyngraph.DelEdge, U: e[0], V: e[1]})
+			applied++
+			continue
+		}
+		u := int32(next() % uint64(n))
+		v := int32(next() % uint64(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] || base.HasEdge(u, v) {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		batch = append(batch, dyngraph.Mutation{Op: dyngraph.AddEdge, U: u, V: v})
+		applied++
+	}
+	if _, err := d.Apply(batch); err != nil {
+		return nil, 0, err
+	}
+	snap, _ := d.Flush()
+	return snap, applied, nil
+}
+
+// RunIncremental executes the cold-vs-warm comparison and returns the
+// machine-readable report (IncrementalExperiment wraps it for the CLI).
+func RunIncremental(cfg Config, fractions []float64) (*IncrementalReport, error) {
+	cfg = cfg.withDefaults()
+	base := gen.Kron(16, 8, 107)
+	opt := core.Options{Subspace: cfg.Subspace, Seed: 1, SkipConnectivityCheck: true}
+	prior, _, err := core.ParHDE(base, opt)
+	if err != nil {
+		return nil, err
+	}
+	prior = prior.Clone()
+
+	rep := &IncrementalReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Factor:     cfg.Factor,
+		Reps:       cfg.Reps,
+		Subspace:   cfg.Subspace,
+		Graph:      "kron16",
+		Vertices:   base.NumV,
+		Edges:      base.NumEdges(),
+	}
+	const stressSources, nbhdK, nbhdSample = 6, 6, 120
+	for _, frac := range fractions {
+		delta := int64(frac * float64(base.NumEdges()))
+		if delta < 1 {
+			delta = 1
+		}
+		mutated, applied, err := flipEdges(base, delta, 0xda1a+uint64(delta))
+		if err != nil {
+			return nil, err
+		}
+
+		var coldLay *core.Layout
+		tCold := minTime(cfg.Reps, func() {
+			var err2 error
+			coldLay, _, err2 = core.ParHDE(mutated, opt)
+			if err2 != nil {
+				panic(err2)
+			}
+		})
+
+		warmOpt := opt
+		warmOpt.Prior = prior
+		warmOpt.PriorDeltaEdges = applied
+		warmOpt.MaxPriorDelta = 2 * frac
+		var warmLay *core.Layout
+		var warmRep *core.Report
+		tWarm := minTime(cfg.Reps, func() {
+			var err2 error
+			warmLay, warmRep, err2 = core.ParHDE(mutated, warmOpt)
+			if err2 != nil {
+				panic(err2)
+			}
+		})
+		if !warmRep.Warm {
+			return nil, fmt.Errorf("incremental: delta %d took the cold path", applied)
+		}
+
+		rep.Entries = append(rep.Entries, IncrementalEntry{
+			DeltaEdges:    applied,
+			DeltaFraction: frac,
+			ColdSeconds:   seconds(tCold),
+			WarmSeconds:   seconds(tWarm),
+			Speedup:       ratio(tCold, tWarm),
+			RefineSweeps:  warmRep.RefineSweeps,
+			ColdStress:    quality.SampledStress(mutated, coldLay, stressSources, 9),
+			WarmStress:    quality.SampledStress(mutated, warmLay, stressSources, 9),
+			ColdNbhd:      quality.NeighborhoodPreservation(mutated, coldLay, nbhdK, nbhdSample, 9),
+			WarmNbhd:      quality.NeighborhoodPreservation(mutated, warmLay, nbhdK, nbhdSample, 9),
+		})
+	}
+	return rep, nil
+}
+
+// IncrementalExperiment is `hdebench -exp incremental`: cold relayout vs
+// warm-start refinement on the kron analogue across edge-delta sizes,
+// with quality deltas, written as a table and (with -out) as
+// BENCH_INCREMENTAL_<date>.json.
+func IncrementalExperiment(w io.Writer, cfg Config) error {
+	rep, err := RunIncremental(cfg, []float64{0.001, 0.005, 0.01})
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Incremental warm-start vs cold relayout (kron analogue, n=%d m=%d, s=%d)\n",
+		rep.Vertices, rep.Edges, rep.Subspace)
+	fprintf(w, "%8s %8s %10s %10s %8s %7s %11s %11s %10s %10s\n",
+		"delta", "frac", "cold (s)", "warm (s)", "speedup", "sweeps",
+		"stress cold", "stress warm", "nbhd cold", "nbhd warm")
+	for _, e := range rep.Entries {
+		fprintf(w, "%8d %7.2f%% %10.4f %10.4f %7.1fx %7d %11.4f %11.4f %10.3f %10.3f\n",
+			e.DeltaEdges, 100*e.DeltaFraction, e.ColdSeconds, e.WarmSeconds,
+			e.Speedup, e.RefineSweeps, e.ColdStress, e.WarmStress, e.ColdNbhd, e.WarmNbhd)
+	}
+	if cfg.OutDir != "" {
+		path, err := writeIncrementalJSON(cfg.OutDir, rep)
+		if err != nil {
+			return err
+		}
+		fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// writeIncrementalJSON writes rep to dir/BENCH_INCREMENTAL_<date>.json
+// atomically (tmp + rename), mirroring WriteBenchJSON.
+func writeIncrementalJSON(dir string, rep *IncrementalReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_INCREMENTAL_"+rep.Date+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestIncrementalWarmStartAcceptance pins the dynamic-graph acceptance
+// bar: after a ≤1% edge delta on the kron 2^16 analogue, the warm-start
+// refinement must be at least 5× faster than a cold relayout while
+// keeping sampled stress within 5% of the cold result.
+func TestIncrementalWarmStartAcceptance(t *testing.T) {
+	rep, err := RunIncremental(Config{Reps: 3}, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if float64(e.DeltaEdges) > 0.01*float64(rep.Edges)+1 {
+		t.Fatalf("delta %d exceeds 1%% of %d edges", e.DeltaEdges, rep.Edges)
+	}
+	if e.RefineSweeps < 2 {
+		t.Fatalf("refine sweeps = %d, want ≥ 2", e.RefineSweeps)
+	}
+	if e.Speedup < 5 {
+		t.Errorf("warm speedup %.1fx (cold %.4fs, warm %.4fs), want ≥ 5x",
+			e.Speedup, e.ColdSeconds, e.WarmSeconds)
+	}
+	if e.WarmStress > 1.05*e.ColdStress {
+		t.Errorf("warm stress %.4f not within 5%% of cold %.4f", e.WarmStress, e.ColdStress)
+	}
+}
+
+// TestIncrementalExperimentWritesJSON checks the hdebench wiring: the
+// experiment renders a table and emits the machine-readable record.
+func TestIncrementalExperimentWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := Run("incremental", &buf, Config{Reps: 1, OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("speedup")) {
+		t.Fatalf("table missing header:\n%s", buf.String())
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_INCREMENTAL_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("incremental JSON not written: %v %v", matches, err)
+	}
+	b, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep IncrementalReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 3 || rep.Graph != "kron16" {
+		t.Fatalf("unexpected report: graph=%q entries=%d", rep.Graph, len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.ColdSeconds <= 0 || e.WarmSeconds <= 0 || e.ColdStress <= 0 || e.WarmStress <= 0 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+	}
+}

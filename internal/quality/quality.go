@@ -159,6 +159,79 @@ func layoutKNearest(l *core.Layout, v int32, k int) map[int32]bool {
 	return out
 }
 
+// SampledStress estimates the normalized stress of a layout from BFS
+// distances of `sources` deterministically sampled vertices: over all
+// pairs (s, v) with hop distance d > 0, with the classic 1/d² weights
+// and the optimal uniform scale α = Σ wdr / Σ wr² applied to the
+// drawing, it returns (1/|P|) Σ w(d − αr)². The α fit makes the measure
+// scale-invariant, so layouts of different overall size are comparable;
+// 0 is a perfect embedding of the sampled distances. Vertices
+// unreachable from a source are skipped.
+func SampledStress(g *graph.CSR, l *core.Layout, sources int, seed uint64) float64 {
+	n := g.NumV
+	if n < 2 || sources < 1 {
+		return 0
+	}
+	if sources > n {
+		sources = n
+	}
+	perm := graph.RandomPermutation(n, seed)
+	p := l.Dims()
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j] = l.Coords.Col(j)
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var swdr, swrr float64 // Σ w·d·r, Σ w·r²
+	type pair struct{ d, r float64 }
+	var pairs []pair
+	for si := 0; si < sources; si++ {
+		s := perm[si]
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for v := int32(0); int(v) < n; v++ {
+			d := dist[v]
+			if d <= 0 {
+				continue
+			}
+			var rr float64
+			for j := 0; j < p; j++ {
+				diff := cols[j][v] - cols[j][s]
+				rr += diff * diff
+			}
+			r := math.Sqrt(rr)
+			fd := float64(d)
+			w := 1 / (fd * fd)
+			swdr += w * fd * r
+			swrr += w * r * r
+			pairs = append(pairs, pair{fd, r})
+		}
+	}
+	if len(pairs) == 0 || swrr == 0 {
+		return 0
+	}
+	alpha := swdr / swrr
+	var total float64
+	for _, q := range pairs {
+		e := q.d - alpha*q.r
+		total += e * e / (q.d * q.d)
+	}
+	return total / float64(len(pairs))
+}
+
 // SampledCrossingRate estimates the fraction of edge pairs that cross in
 // the drawing by sampling `samples` random pairs of independent edges.
 // A planar-quality mesh drawing should score orders of magnitude below a

@@ -86,6 +86,10 @@ type Config struct {
 	MaxResults int
 	// DataDir, when non-empty, persists completed job results to disk.
 	DataDir string
+	// RebuildThreshold is the dirty-edge count at which a mutated graph's
+	// CSR is rebuilt inside a PATCH batch (0 = the dyngraph package
+	// default; negative = rebuild only on the per-PATCH refresh).
+	RebuildThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -115,9 +119,14 @@ type view struct {
 	stats  []byte       // per-graph /stats body, computed at install
 }
 
-// cacheKey namespaces a render kind under the view's graph + generation.
-func (v *view) cacheKey(kind string) string {
-	return fmt.Sprintf("g:%s:%d:%s", v.name, v.gen, kind)
+// cacheKey namespaces a render kind under the view's graph, the view
+// generation, and the catalog entry's content generation. The catalog
+// generation is read at request time, so any mutation path that bumps it
+// (PATCH, Touch, Refresh) orphans every cached render of the old graph
+// immediately — even before a new layout installs.
+func (s *Server) cacheKey(v *view, kind string) string {
+	catGen, _ := s.cat.Generation(v.name)
+	return fmt.Sprintf("g:%s:%d:%d:%s", v.name, v.gen, catGen, kind)
 }
 
 // Server fronts a catalog of graphs: it renders installed layouts and
@@ -130,15 +139,32 @@ type Server struct {
 	mu    sync.RWMutex
 	views map[string]*view
 	gens  map[string]int
+	// pending counts applied-but-not-yet-installed mutations per graph;
+	// jobDelta remembers each refinement job's share of it so a completed
+	// install retires exactly the delta it absorbed. Both under mu.
+	pending  map[string]int64
+	jobDelta map[string]int64
 
 	cache  *byteLRU
 	flight flightGroup
 	sem    chan struct{} // expensive-render concurrency limit
 
-	reg          *obs.Registry
-	zoomRenders  *obs.Counter // core.Zoom layouts actually executed
-	viewRenders  *obs.Counter // all renders actually executed (any kind)
-	renderErrors *obs.Counter
+	// streams holds the per-graph SSE subscriber sets (see stream.go).
+	streamMu sync.Mutex
+	streams  map[string]map[chan []byte]struct{}
+	done     chan struct{} // closed by Close; unblocks SSE handlers
+	closing  sync.Once
+
+	reg              *obs.Registry
+	zoomRenders      *obs.Counter // core.Zoom layouts actually executed
+	viewRenders      *obs.Counter // all renders actually executed (any kind)
+	renderErrors     *obs.Counter
+	mutationsApplied *obs.Counter   // graph mutations applied via PATCH
+	warmLayouts      *obs.Counter   // installs that took the warm-start path
+	coldLayouts      *obs.Counter   // installs that ran the full pipeline
+	refineSweeps     *obs.Counter   // cumulative warm-refinement sweeps
+	streamSubs       *obs.Gauge     // currently connected SSE subscribers
+	broadcastLatency *obs.Histogram // install→fan-out delta latency
 
 	ready atomic.Bool
 }
@@ -161,19 +187,29 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:   cfg,
-		cat:   catalog.New(cfg.CatalogBytes),
-		views: map[string]*view{},
-		gens:  map[string]int{},
-		sem:   make(chan struct{}, cfg.MaxConcurrentRenders),
-		reg:   reg,
+		cfg:      cfg,
+		cat:      catalog.New(cfg.CatalogBytes),
+		views:    map[string]*view{},
+		gens:     map[string]int{},
+		pending:  map[string]int64{},
+		jobDelta: map[string]int64{},
+		streams:  map[string]map[chan []byte]struct{}{},
+		done:     make(chan struct{}),
+		sem:      make(chan struct{}, cfg.MaxConcurrentRenders),
+		reg:      reg,
 		cache: newByteLRU(cfg.CacheBytes,
 			reg.Counter("render_cache_hits_total"),
 			reg.Counter("render_cache_misses_total"),
 			reg.Counter("render_cache_evictions_total")),
-		zoomRenders:  reg.Counter("zoom_layouts_total"),
-		viewRenders:  reg.Counter("view_renders_total"),
-		renderErrors: reg.Counter("render_errors_total"),
+		zoomRenders:      reg.Counter("zoom_layouts_total"),
+		viewRenders:      reg.Counter("view_renders_total"),
+		renderErrors:     reg.Counter("render_errors_total"),
+		mutationsApplied: reg.Counter("graph_mutations_total"),
+		warmLayouts:      reg.Counter(`layouts_installed_total{mode="warm"}`),
+		coldLayouts:      reg.Counter(`layouts_installed_total{mode="cold"}`),
+		refineSweeps:     reg.Counter("refine_sweeps_total"),
+		streamSubs:       reg.Gauge("stream_subscribers"),
+		broadcastLatency: reg.Histogram("stream_broadcast_seconds"),
 	}
 	reg.GaugeFunc("render_cache_bytes", func() float64 { return float64(s.cache.Bytes()) })
 	reg.GaugeFunc("render_cache_entries", func() float64 { return float64(s.cache.Len()) })
@@ -204,20 +240,44 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 	return s, nil
 }
 
-// Close shuts down the job engine: pending and running jobs are
-// cancelled and the worker pool drains. The render endpoints keep
-// working on the installed views.
-func (s *Server) Close() { s.eng.Close() }
+// Close shuts down the job engine — pending and running jobs are
+// cancelled and the worker pool drains — and disconnects every SSE
+// subscriber. The render endpoints keep working on the installed views.
+func (s *Server) Close() {
+	s.closing.Do(func() { close(s.done) })
+	s.eng.Close()
+}
 
 // onJobDone installs a completed job's layout as its graph's current
-// view (runs on the worker goroutine).
+// view (runs on the worker goroutine) and settles the mutation-delta
+// bookkeeping the job was submitted with.
 func (s *Server) onJobDone(j *jobs.Job) {
-	if j.State() != jobs.StateDone {
+	done := j.State() == jobs.StateDone
+	s.mu.Lock()
+	delta, tracked := s.jobDelta[j.ID()]
+	delete(s.jobDelta, j.ID())
+	if tracked && done {
+		// The install below absorbs this job's share of the pending
+		// mutations; later PATCHes' deltas stay pending.
+		if s.pending[j.Graph()] -= delta; s.pending[j.Graph()] <= 0 {
+			delete(s.pending, j.Graph())
+		}
+	}
+	s.mu.Unlock()
+	if !done {
 		return
 	}
 	res := j.Result()
 	if res == nil || res.Layout == nil {
 		return
+	}
+	if rep := res.Report; rep != nil {
+		if rep.Warm {
+			s.warmLayouts.Inc()
+			s.refineSweeps.Add(int64(rep.RefineSweeps))
+		} else {
+			s.coldLayouts.Inc()
+		}
 	}
 	elapsed := res.Elapsed
 	if res.Report != nil {
@@ -244,9 +304,9 @@ func (s *Server) install(name string, g *graph.CSR, layout *core.Layout, rep *co
 		stats = []byte("{}")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.views[name]
 	s.gens[name]++
-	s.views[name] = &view{
+	nv := &view{
 		name:   name,
 		gen:    s.gens[name],
 		g:      g,
@@ -255,6 +315,12 @@ func (s *Server) install(name string, g *graph.CSR, layout *core.Layout, rep *co
 		opt:    opt,
 		stats:  append(stats, '\n'),
 	}
+	s.views[name] = nv
+	s.mu.Unlock()
+	// Fan the coordinate delta out to the graph's stream subscribers
+	// (no-op without any). Outside the view lock: a slow marshal must not
+	// block readers, and sends never block regardless.
+	s.broadcast(old, nv)
 }
 
 // viewOf returns the named graph's current view. The boolean pair
@@ -334,6 +400,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /graphs/{name}/layout.svg", s.handleGraphLayoutSVG)
 	mux.HandleFunc("GET /graphs/{name}/zoom.png", s.handleGraphZoom)
 	mux.HandleFunc("GET /graphs/{name}/stats", s.handleGraphStats)
+	mux.HandleFunc("PATCH /graphs/{name}", s.handleGraphMutate)
+	mux.HandleFunc("GET /graphs/{name}/stream", s.handleGraphStream)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobsList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
@@ -410,7 +478,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // servePNG renders (or serves the cached) global PNG of a view.
 func (s *Server) servePNG(w http.ResponseWriter, v *view) {
-	png, err := s.renderCached(v.cacheKey("global.png"), func() ([]byte, error) {
+	png, err := s.renderCached(s.cacheKey(v, "global.png"), func() ([]byte, error) {
 		return encodePNG(v.g, v.layout)
 	})
 	if err != nil {
@@ -422,7 +490,7 @@ func (s *Server) servePNG(w http.ResponseWriter, v *view) {
 }
 
 func (s *Server) serveSVG(w http.ResponseWriter, v *view) {
-	svg, err := s.renderCached(v.cacheKey("global.svg"), func() ([]byte, error) {
+	svg, err := s.renderCached(s.cacheKey(v, "global.svg"), func() ([]byte, error) {
 		var buf bytes.Buffer
 		if err := render.DrawSVG(&buf, v.g, v.layout, render.Options{Size: 700}); err != nil {
 			return nil, err
@@ -443,7 +511,7 @@ func (s *Server) serveZoom(w http.ResponseWriter, r *http.Request, v *view) {
 		http.Error(w, "bad v/hops parameters", http.StatusBadRequest)
 		return
 	}
-	key := v.cacheKey(fmt.Sprintf("zoom:%d:%d", vtx, hops))
+	key := s.cacheKey(v, fmt.Sprintf("zoom:%d:%d", vtx, hops))
 	png, err := s.renderCached(key, func() ([]byte, error) {
 		s.zoomRenders.Inc()
 		z, err := core.Zoom(v.g, vtx, hops, v.opt)

@@ -66,6 +66,10 @@ type Workspace struct {
 	// workspace-backed run aliases it; Clone before the next run if
 	// retained.
 	Coords []float64
+	// Warm is the n×p ping-pong buffer of the warm-start refinement
+	// sweeps (each sweep reads one coordinate buffer and writes the
+	// other; Coords always holds the final result).
+	Warm []float64
 
 	pool *Pool
 	key  Shape
@@ -100,6 +104,7 @@ func (ws *Workspace) Reshape(n, s, p int) {
 	ws.Z = growFloat(ws.Z, s*s)
 	ws.GemmPartials = growFloat(ws.GemmPartials, linalg.ReduceBlocks(n)*s*s)
 	ws.Coords = growFloat(ws.Coords, n*p)
+	ws.Warm = growFloat(ws.Warm, n*p)
 	ws.n, ws.s = n, s
 }
 

@@ -72,6 +72,12 @@ type Options struct {
 	// fresh-allocation run; the returned Layout aliases workspace storage
 	// and is valid only until the workspace's next run (Clone to retain).
 	Workspace *workspace.Workspace
+	// NoPack keeps the dense phases on the unpacked kernels: flat-arena
+	// panel MGS (ortho.MGSUnpacked), the two-pass tiled TripleProd, and
+	// the streaming AᵀB. The packed kernels are bitwise identical, so
+	// this changes timing only — it exists as the ablation baseline the
+	// scaling harness and the packed perf gates measure against.
+	NoPack bool
 	// TrackAllocs records per-phase heap-allocation deltas into
 	// Report.PhaseAllocs. Each phase is bracketed by
 	// runtime.ReadMemStats, which is process-global and stops the world

@@ -208,7 +208,11 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 				if ws != nil {
 					osc = ws.Ortho
 				}
-				res := ortho.DOrthogonalizeBudget(bud, b, d, opt.Ortho, osc)
+				method := opt.Ortho
+				if opt.NoPack && method == ortho.MGS {
+					method = ortho.MGSUnpacked
+				}
+				res := ortho.DOrthogonalizeBudget(bud, b, d, method, osc)
 				rep.KeptColumns = len(res.Kept)
 				rep.DroppedColumns = res.Dropped
 				layoutCols := opt.Dims
@@ -238,9 +242,14 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 			tiled := opt.LS == LSTiled ||
 				(opt.LS == LSAuto && (ws != nil || sMat.Cols >= 8))
 			switch {
+			case tiled && ws != nil && !opt.NoPack:
+				p = linalg.LapMulDenseTiledPackedBudget(bud, g, deg, sMat,
+					linalg.ViewDense(ws.P, n, sMat.Cols), ws.SRM, ws.Pack)
 			case tiled && ws != nil:
 				p = linalg.LapMulDenseTiledBudget(bud, g, deg, sMat,
 					linalg.ViewDense(ws.P, n, sMat.Cols), ws.SRM, ws.PRM)
+			case tiled && !opt.NoPack:
+				p = linalg.LapMulDenseTiledPackedBudget(bud, g, deg, sMat, nil, nil, nil)
 			case tiled:
 				p = linalg.LapMulDenseTiledBudget(bud, g, deg, sMat, nil, nil, nil)
 			default:
@@ -249,11 +258,18 @@ func ParHDECtx(ctx context.Context, g *graph.CSR, opt Options) (*Layout, *Report
 		})
 		var z *linalg.Dense
 		tr.timed("gemm", &bd.Gemm, func() {
+			var zOut *linalg.Dense
+			var partials []float64
+			var arena *linalg.PackArena
 			if ws != nil {
-				k := sMat.Cols
-				z = linalg.AtBBudget(bud, sMat, p, linalg.ViewDense(ws.Z, k, k), ws.GemmPartials)
+				zOut = linalg.ViewDense(ws.Z, sMat.Cols, sMat.Cols)
+				partials = ws.GemmPartials
+				arena = ws.Pack
+			}
+			if opt.NoPack {
+				z = linalg.AtBBudget(bud, sMat, p, zOut, partials)
 			} else {
-				z = linalg.AtBBudget(bud, sMat, p, nil, nil)
+				z = linalg.AtBPackedBudget(bud, sMat, p, zOut, partials, arena)
 			}
 		})
 

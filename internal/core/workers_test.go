@@ -22,6 +22,7 @@ func TestParHDEBitIdenticalAcrossWorkerBudgets(t *testing.T) {
 	}{
 		{"decoupled", Options{Subspace: 8, Seed: 11}},
 		{"coupled", Options{Subspace: 8, Seed: 11, Coupled: true}},
+		{"decoupled-nopack", Options{Subspace: 8, Seed: 11, NoPack: true}},
 	}
 	g := gen.Kron(13, 8, 3) // n=8192: spans two reduction tiles, admits 4-way block fan-out
 	ws := workspace.New()   // shared across budgets: arenas must be budget-independent
@@ -57,6 +58,97 @@ func TestParHDEBitIdenticalAcrossWorkerBudgets(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestParHDEPackedMatchesUnpacked: the packed default and the NoPack
+// ablation produce bitwise identical coordinates from one shared
+// workspace — the packed kernels change timing only. Alternating the two
+// paths over the same workspace is the case where a stale packed arena
+// or misrouted scratch buffer would leak one run's state into the next.
+func TestParHDEPackedMatchesUnpacked(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g := gen.Kron(13, 8, 3)
+	ws := workspace.New()
+	opt := Options{Subspace: 8, Seed: 11, Workers: 4, Workspace: ws}
+	ref, _, err := ParHDE(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCoords := append([]float64(nil), ref.Coords.Data...) // ref aliases ws
+	for _, c := range []struct {
+		name   string
+		noPack bool
+	}{
+		{"unpacked", true},
+		{"packed-again", false},
+		{"unpacked-again", true},
+	} {
+		o := opt
+		o.NoPack = c.noPack
+		lay, _, err := ParHDE(g, o)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(lay.Coords.Data) != len(refCoords) {
+			t.Fatalf("%s: coordinate count diverged", c.name)
+		}
+		for k := range refCoords {
+			if lay.Coords.Data[k] != refCoords[k] {
+				t.Fatalf("%s: Coords[%d] = %v, want %v (bitwise)",
+					c.name, k, lay.Coords.Data[k], refCoords[k])
+			}
+		}
+	}
+}
+
+// TestParHDEBitIdenticalUnderGOMAXPROCSFlips: the worker budget is
+// snapshotted once at layout start, so flipping GOMAXPROCS continuously
+// while the layout runs can neither re-partition a running kernel nor
+// outrun the packed-arena sizing (kernels size per-worker slots from the
+// snapshotted count before fanning out). Every flipped run must match
+// the quiet single-worker reference bitwise.
+func TestParHDEBitIdenticalUnderGOMAXPROCSFlips(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g := gen.Kron(13, 8, 3)
+	ref, _, err := ParHDE(g, Options{Subspace: 8, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		procs := []int{1, 3, 2, 4}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			runtime.GOMAXPROCS(procs[i%len(procs)])
+			runtime.Gosched()
+		}
+	}()
+	ws := workspace.New()
+	for r := 0; r < 4; r++ {
+		// Workers: 0 snapshots whatever GOMAXPROCS happens to be at entry —
+		// a different budget each round, with the value still churning
+		// underneath the run.
+		lay, _, err := ParHDE(g, Options{Subspace: 8, Seed: 11, Workspace: ws})
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for k := range ref.Coords.Data {
+			if lay.Coords.Data[k] != ref.Coords.Data[k] {
+				t.Fatalf("round %d: Coords[%d] = %v, want %v (bitwise)",
+					r, k, lay.Coords.Data[k], ref.Coords.Data[k])
+			}
+		}
+	}
+	close(stop)
+	<-done
 }
 
 // TestParHDEWorkersSnapshotDefault: Workers <= 0 snapshots GOMAXPROCS at

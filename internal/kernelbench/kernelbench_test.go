@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/ortho"
+	"repro/internal/parallel"
 )
 
 // kernelBudget mirrors perf/kernel_budget.json.
@@ -122,6 +123,33 @@ func TestKernelBudgetGate(t *testing.T) {
 		check("panel_mgs_vs_level1", float64(tL1)/float64(tPanel))
 	}
 
+	// Packed-arena kernels vs their unpacked counterparts at one worker.
+	// Packing is pure overhead here — no parallel bandwidth contention to
+	// relieve — so these ratios sit just below 1.0 and the entries guard
+	// the overhead staying small (the multi-worker win is gated by the
+	// *_packed_{2,4}w entries of TestParallelEfficiencyGate).
+	{
+		n, s := 1<<16, 48
+		a, b := randDense(n, s, 21), randDense(n, s, 22)
+		c := linalg.NewDense(s, s)
+		tPacked := minTime(reps, func() { linalg.AtBPacked(a, b) })
+		tStream := minTime(reps, func() { linalg.AtBInto(a, b, c, nil) })
+		check("atb_packed_vs_streaming", float64(tStream)/float64(tPacked))
+	}
+	{
+		n, s := 1<<17, 48
+		b := randDense(n, s, 23)
+		d := make([]float64, n)
+		r := rand.New(rand.NewSource(24))
+		for i := range d {
+			d[i] = 1 + float64(r.Intn(20))
+		}
+		sc := ortho.NewScratch(n, s)
+		tPacked := minTime(reps, func() { ortho.DOrthogonalizeScratch(cloneDense(b), d, ortho.MGS, sc) })
+		tFlat := minTime(reps, func() { ortho.DOrthogonalizeScratch(cloneDense(b), d, ortho.MGSUnpacked, sc) })
+		check("panel_mgs_packed_vs_flat", float64(tFlat)/float64(tPacked))
+	}
+
 	// Fused widen+min+argmax vs the three-pass sequence (BFS bookkeeping).
 	{
 		n := 1 << 20
@@ -186,6 +214,22 @@ func BenchmarkAtBNaive(b *testing.B) {
 	}
 }
 
+// BenchmarkAtBPacked is the cache-resident packed variant: operand
+// chunks are copied into a per-worker arena and the 4×2 kernels run out
+// of it (go test -tags perf -bench AtB ./internal/kernelbench/).
+func BenchmarkAtBPacked(b *testing.B) {
+	n, s := 1<<16, 48
+	x, y := randDense(n, s, 1), randDense(n, s, 2)
+	c := linalg.NewDense(s, s)
+	partials := make([]float64, linalg.ReduceBlocks(n)*s*s)
+	var arena linalg.PackArena
+	b.SetBytes(int64(2 * n * s * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.AtBPackedBudget(parallel.Live(), x, y, c, partials, &arena)
+	}
+}
+
 func benchmarkDOrtho(b *testing.B, method ortho.Method) {
 	n, s := 1<<15, 48
 	m := randDense(n, s, 3)
@@ -201,9 +245,13 @@ func benchmarkDOrtho(b *testing.B, method ortho.Method) {
 	}
 }
 
-func BenchmarkPanelMGS(b *testing.B)  { benchmarkDOrtho(b, ortho.MGS) }
-func BenchmarkLevel1MGS(b *testing.B) { benchmarkDOrtho(b, ortho.MGSLevel1) }
-func BenchmarkCGSLevel2(b *testing.B) { benchmarkDOrtho(b, ortho.CGS) }
+// BenchmarkPanelMGSPacked is the default MGS path (tile-major packed
+// kept-column store); BenchmarkPanelMGSUnpacked is the flat-arena
+// ablation it replaced.
+func BenchmarkPanelMGSPacked(b *testing.B)   { benchmarkDOrtho(b, ortho.MGS) }
+func BenchmarkPanelMGSUnpacked(b *testing.B) { benchmarkDOrtho(b, ortho.MGSUnpacked) }
+func BenchmarkLevel1MGS(b *testing.B)        { benchmarkDOrtho(b, ortho.MGSLevel1) }
+func BenchmarkCGSLevel2(b *testing.B)        { benchmarkDOrtho(b, ortho.CGS) }
 
 func BenchmarkWidenMinArgmaxFused(b *testing.B) {
 	n := 1 << 20

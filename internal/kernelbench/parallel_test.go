@@ -14,29 +14,38 @@ import (
 	"repro/internal/parallel"
 )
 
-// TestParallelEfficiencyGate measures the 4-worker speedup of each
+// TestParallelEfficiencyGate measures the multi-worker speedup of each
 // parallel kernel path over its 1-worker (serial) path on the same
-// machine in the same run, and gates against the *_parallel_4w entries
-// of perf/kernel_budget.json. Ratios, not absolute times, so the gate
-// travels across machines — but it needs 4 real cores to mean anything,
-// so it skips on smaller hosts (the paper's Figure 4 scaling claims are
-// likewise statements about multicore hardware).
+// machine in the same run, and gates against the *_parallel_Nw /
+// *_packed_Nw entries of perf/kernel_budget.json. Ratios, not absolute
+// times, so the gate travels across machines. It needs 4 real cores for
+// the full-strength *_4w floors; on 2- and 3-core hosts it falls back
+// to the *_2w floors (measured at 2 workers) so smaller CI runners
+// still gate something, and only a single-core host skips — loudly,
+// with the reason in the test log.
 func TestParallelEfficiencyGate(t *testing.T) {
-	if runtime.NumCPU() < 4 {
-		t.Skipf("parallel-efficiency gate needs >= 4 cores, have %d", runtime.NumCPU())
+	workers, suffix := 4, "_4w"
+	switch {
+	case runtime.NumCPU() >= 4:
+	case runtime.NumCPU() >= 2:
+		workers, suffix = 2, "_2w"
+		t.Logf("FALLBACK: only %d cores — gating the 2-worker floors (*_2w) instead of the 4-worker acceptance floors (*_4w); run on a >=4-core host for the full gate", runtime.NumCPU())
+	default:
+		t.Skipf("SKIPPED (not silently): parallel-efficiency gate needs >= 2 cores, have %d — a single core cannot exhibit any parallel speedup; the *_4w acceptance floors are enforced on multicore CI runners", runtime.NumCPU())
 	}
 	budget := loadBudget(t)
-	prev := runtime.GOMAXPROCS(4)
+	prev := runtime.GOMAXPROCS(workers)
 	defer runtime.GOMAXPROCS(prev)
 
 	check := func(name string, speedup float64) {
 		t.Helper()
+		name += suffix
 		want, ok := budget.Kernels[name]
 		if !ok {
 			t.Fatalf("no kernel budget entry for %q", name)
 		}
 		floor := want.BaselineSpeedup * budget.Margin
-		t.Logf("%s: 4-worker speedup %.2fx (baseline %.2fx, floor %.2fx)", name, speedup, want.BaselineSpeedup, floor)
+		t.Logf("%s: %d-worker speedup %.2fx (baseline %.2fx, floor %.2fx)", name, workers, speedup, want.BaselineSpeedup, floor)
 		if speedup < floor {
 			t.Errorf("%s: speedup %.2fx below floor %.2fx — if the regression is intentional, lower perf/kernel_budget.json", name, speedup, floor)
 		}
@@ -44,19 +53,27 @@ func TestParallelEfficiencyGate(t *testing.T) {
 
 	const reps = 5
 	serial := parallel.FixedBudget(1)
-	four := parallel.FixedBudget(4)
+	par := parallel.FixedBudget(workers)
 
-	// Parallel blocked AtB: per-worker tile ranges vs the serial sweep.
+	// Parallel packed AtB: per-worker tile ranges running out of packed
+	// arena slots vs the serial sweep, plus the packed-vs-streaming ratio
+	// at the same worker count (the cache-residency payoff the tentpole
+	// claims — at one worker packing is overhead, see the single-core
+	// gate; with workers contending for DRAM it must win).
 	{
 		n, s := 1<<20, 48
 		a, b := randDense(n, s, 11), randDense(n, s, 12)
 		partials := make([]float64, linalg.ReduceBlocks(n)*s*s)
-		t1 := minTime(reps, func() { linalg.AtBBudget(serial, a, b, nil, partials) })
-		t4 := minTime(reps, func() { linalg.AtBBudget(four, a, b, nil, partials) })
-		check("atb_parallel_4w", float64(t1)/float64(t4))
+		var arena linalg.PackArena
+		t1 := minTime(reps, func() { linalg.AtBPackedBudget(serial, a, b, nil, partials, &arena) })
+		tp := minTime(reps, func() { linalg.AtBPackedBudget(par, a, b, nil, partials, &arena) })
+		tStream := minTime(reps, func() { linalg.AtBBudget(par, a, b, nil, partials) })
+		check("atb_parallel", float64(t1)/float64(tp))
+		check("atb_packed", float64(tStream)/float64(tp))
 	}
 
-	// Parallel panel MGS: fused panel dots and axpys fanned over tiles.
+	// Parallel panel MGS: packed fan-out scaling, plus packed (MGS) vs
+	// flat-arena (MGSUnpacked) at the same worker count.
 	{
 		n, s := 1<<19, 48
 		d := make([]float64, n)
@@ -65,10 +82,12 @@ func TestParallelEfficiencyGate(t *testing.T) {
 			d[i] = 1 + float64(r.Intn(20))
 		}
 		sc := ortho.NewScratch(n, s)
-		b1, b4 := randDense(n, s, 14), randDense(n, s, 14)
+		b1 := randDense(n, s, 14)
 		t1 := minTime(reps, func() { ortho.DOrthogonalizeBudget(serial, cloneDense(b1), d, ortho.MGS, sc) })
-		t4 := minTime(reps, func() { ortho.DOrthogonalizeBudget(four, cloneDense(b4), d, ortho.MGS, sc) })
-		check("panel_mgs_parallel_4w", float64(t1)/float64(t4))
+		tp := minTime(reps, func() { ortho.DOrthogonalizeBudget(par, cloneDense(b1), d, ortho.MGS, sc) })
+		tFlat := minTime(reps, func() { ortho.DOrthogonalizeBudget(par, cloneDense(b1), d, ortho.MGSUnpacked, sc) })
+		check("panel_mgs_parallel", float64(t1)/float64(tp))
+		check("panel_mgs_packed", float64(tFlat)/float64(tp))
 	}
 
 	// Parallel fused widen/min/argmax with the fixed-tile reduction.
@@ -91,25 +110,28 @@ func TestParallelEfficiencyGate(t *testing.T) {
 		reset()
 		t1 := minTime(reps, func() { linalg.WidenMinArgmaxBudget(serial, dst, dmin, src, idxs, vals) })
 		reset()
-		t4 := minTime(reps, func() { linalg.WidenMinArgmaxBudget(four, dst, dmin, src, idxs, vals) })
-		check("fused_widen_parallel_4w", float64(t1)/float64(t4))
+		tp := minTime(reps, func() { linalg.WidenMinArgmaxBudget(par, dst, dmin, src, idxs, vals) })
+		check("fused_widen_parallel", float64(t1)/float64(tp))
 	}
 
 	// Whole-layout scaling on the paper's headline graph shape: the
-	// ISSUE's acceptance target (kron 2^18 at 4 workers vs 1).
+	// ISSUE's acceptance targets (kron 2^18 at `workers` vs 1, and the
+	// packed layout vs the NoPack ablation at `workers`).
 	{
 		g := gen.Kron(18, 16, 102)
-		run := func(p int) func() {
-			opt := core.Options{Subspace: 10, Seed: 42, Workers: p, SkipConnectivityCheck: true}
+		run := func(p int, noPack bool) func() {
+			opt := core.Options{Subspace: 10, Seed: 42, Workers: p, SkipConnectivityCheck: true, NoPack: noPack}
 			return func() {
 				if _, _, err := core.ParHDE(g, opt); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
-		t1 := minTime(3, run(1))
-		t4 := minTime(3, run(4))
-		check("layout_parallel_4w", float64(t1)/float64(t4))
+		t1 := minTime(3, run(1, false))
+		tp := minTime(3, run(workers, false))
+		tFlat := minTime(3, run(workers, true))
+		check("layout_parallel", float64(t1)/float64(tp))
+		check("layout_packed", float64(tFlat)/float64(tp))
 	}
 }
 

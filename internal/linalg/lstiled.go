@@ -63,16 +63,79 @@ func LapMulDenseTiledBudget(bud parallel.Budget, g *graph.CSR, deg []float64, s,
 	// row doubles as its accumulator — rows partition across blocks, so
 	// this is race-free and saves a per-block scratch allocation.
 	if bud.Serial(n) {
-		fusedRows(g, deg, srm, prm, 0, n, cols)
+		fusedRows(g, deg, srm, prm, 0, 0, n, cols)
 	} else {
-		bud.ForBlock(n, func(lo, hi int) { fusedRows(g, deg, srm, prm, lo, hi, cols) })
+		bud.ForBlock(n, func(lo, hi int) { fusedRows(g, deg, srm, prm, 0, lo, hi, cols) })
 	}
 	// Unpack to the column-major result.
 	if bud.Serial(n) {
-		unpackRowMajor(p, prm, 0, n, cols)
+		unpackRowMajor(p, prm, 0, 0, n, cols)
 	} else {
-		bud.ForBlock(n, func(lo, hi int) { unpackRowMajor(p, prm, lo, hi, cols) })
+		bud.ForBlock(n, func(lo, hi int) { unpackRowMajor(p, prm, 0, lo, hi, cols) })
 	}
+	return p
+}
+
+// LapMulDenseTiledPacked is LapMulDenseTiledPackedBudget with private
+// storage — the convenience form the property tests exercise.
+func LapMulDenseTiledPacked(g *graph.CSR, deg []float64, s *Dense) *Dense {
+	return LapMulDenseTiledPackedBudget(parallel.Live(), g, deg, s, nil, nil, nil)
+}
+
+// LapMulDenseTiledPackedBudget is LapMulDenseTiledBudget with the output
+// pass kept cache-resident: instead of fusing all n rows into a full n·s
+// row-major panel and transposing it back in a second sweep — an extra
+// n·s·16-byte DRAM round trip that dominates at layout sizes — each
+// worker fuses a PackRows-high chunk into its arena slot and unpacks it
+// into the column-major result while it is still in cache. The source
+// pack srm stays global (fusedRows gathers arbitrary neighbors' rows, so
+// it cannot be chunked), but the prm panel disappears entirely. Every
+// output element is produced by one worker with the per-element
+// accumulation order of fusedRows, so the result is bitwise identical to
+// LapMulDenseTiledBudget for every worker budget.
+func LapMulDenseTiledPackedBudget(bud parallel.Budget, g *graph.CSR, deg []float64, s, p *Dense, srm []float64, arena *PackArena) *Dense {
+	n, cols := s.Rows, s.Cols
+	if n != g.NumV {
+		panic("linalg: LapMulDenseTiledPacked dimension mismatch")
+	}
+	if p == nil {
+		p = NewDense(n, cols)
+	} else if p.Rows != n || p.Cols != cols {
+		panic("linalg: LapMulDenseTiledPacked output shape mismatch")
+	}
+	if cols == 0 {
+		return p
+	}
+	if cap(srm) < n*cols {
+		srm = make([]float64, n*cols)
+	}
+	srm = srm[:n*cols]
+	if arena == nil {
+		arena = &PackArena{}
+	}
+	workers := bud.BlockWorkers(n)
+	arena.Ensure(workers, PackRows*cols)
+	if workers <= 1 {
+		packRowMajor(s, srm, 0, n, cols)
+		slot := arena.slot(0)
+		for r0 := 0; r0 < n; r0 += PackRows {
+			r1 := min(r0+PackRows, n)
+			fusedRows(g, deg, srm, slot, r0, r0, r1, cols)
+			unpackRowMajor(p, slot, r0, r0, r1, cols)
+		}
+		return p
+	}
+	parallel.ForBlockIndexed(workers, n, func(_, lo, hi int) {
+		packRowMajor(s, srm, lo, hi, cols)
+	})
+	parallel.ForBlockIndexed(workers, n, func(w, lo, hi int) {
+		slot := arena.slot(w)
+		for r0 := lo; r0 < hi; r0 += PackRows {
+			r1 := min(r0+PackRows, hi)
+			fusedRows(g, deg, srm, slot, r0, r0, r1, cols)
+			unpackRowMajor(p, slot, r0, r0, r1, cols)
+		}
+	})
 	return p
 }
 
@@ -88,12 +151,15 @@ func packRowMajor(s *Dense, srm []float64, lo, hi, cols int) {
 
 // fusedRows computes rows [lo, hi) of the row-major product prm = L·S
 // over the row-major pack srm: prm_i = deg_i·srm_i − Σ_{u∈adj(i)} srm_u,
-// accumulating into prm_i itself. The accumulation order per element
-// matches LapMulDense exactly (adjacency order, degree term last).
-func fusedRows(g *graph.CSR, deg, srm, prm []float64, lo, hi, cols int) {
+// accumulating into prm_i itself. prm is indexed relative to base —
+// base 0 addresses a full n-row panel, base lo a chunk holding only
+// [lo, hi) (the packed path's arena slot). The accumulation order per
+// element matches LapMulDense exactly (adjacency order, degree term
+// last) and does not depend on base.
+func fusedRows(g *graph.CSR, deg, srm, prm []float64, base, lo, hi, cols int) {
 	weighted := g.Weighted()
 	for i := lo; i < hi; i++ {
-		acc := prm[i*cols : (i+1)*cols]
+		acc := prm[(i-base)*cols : (i-base+1)*cols]
 		for k := range acc {
 			acc[k] = 0
 		}
@@ -122,12 +188,13 @@ func fusedRows(g *graph.CSR, deg, srm, prm []float64, lo, hi, cols int) {
 	}
 }
 
-// unpackRowMajor transposes rows [lo, hi) of prm into the column-major p.
-func unpackRowMajor(p *Dense, prm []float64, lo, hi, cols int) {
+// unpackRowMajor transposes rows [lo, hi) of prm into the column-major
+// p. prm is indexed relative to base, like fusedRows.
+func unpackRowMajor(p *Dense, prm []float64, base, lo, hi, cols int) {
 	for j := 0; j < cols; j++ {
 		col := p.Col(j)
 		for i := lo; i < hi; i++ {
-			col[i] = prm[i*cols+j]
+			col[i] = prm[(i-base)*cols+j]
 		}
 	}
 }

@@ -117,6 +117,35 @@ func forTiles(bud parallel.Budget, n, tiles int, body func(t, lo, hi int)) {
 	wg.Wait()
 }
 
+// forTilesIndexed is forTiles with the owning worker's index passed to
+// body and the worker count fixed by the caller. The count is snapshotted
+// once — before any worker-indexed arena is sized — so a live budget whose
+// GOMAXPROCS moves mid-call can never fan out across more workers than the
+// arena has slots. Worker w owns the contiguous tile range
+// [w·tiles/p, (w+1)·tiles/p), the same partition forTiles uses.
+func forTilesIndexed(p, n, tiles int, body func(w, t, lo, hi int)) {
+	if p > tiles {
+		p = tiles
+	}
+	if p <= 1 {
+		for t := 0; t < tiles; t++ {
+			body(0, t, t*n/tiles, (t+1)*n/tiles)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for t := w * tiles / p; t < (w+1)*tiles/p; t++ {
+				body(w, t, t*n/tiles, (t+1)*n/tiles)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // dotBlocks computes xᵀy (d == nil) or xᵀdiag(d)y over the fixed tiling.
 // The serial path streams the per-tile sums into one accumulator in tile
 // order — the same additions, in the same order, as the parallel arena +

@@ -21,7 +21,7 @@ func TestDOrthogonalizeBudgetInvariance(t *testing.T) {
 		parallel.FixedBudget(4),
 		parallel.Live(),
 	}
-	for _, method := range []Method{MGS, CGS, MGSLevel1} {
+	for _, method := range []Method{MGS, CGS, MGSLevel1, MGSUnpacked} {
 		for _, d := range [][]float64{nil, degrees} {
 			ref := DOrthogonalizeBudget(parallel.FixedBudget(1), randMatrix(n, s, 7), d, method, nil)
 			for _, bud := range budgets {
@@ -36,6 +36,50 @@ func TestDOrthogonalizeBudgetInvariance(t *testing.T) {
 					}
 					if got.DNorms[j] != ref.DNorms[j] {
 						t.Fatalf("%v workers=%d: DNorms[%d] %v != %v", method, bud.Workers(), j, got.DNorms[j], ref.DNorms[j])
+					}
+				}
+				for k := range ref.S.Data {
+					if got.S.Data[k] != ref.S.Data[k] {
+						t.Fatalf("%v d=%v workers=%d: S.Data[%d] diverged: %v != %v",
+							method, d != nil, bud.Workers(), k, got.S.Data[k], ref.S.Data[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMGSPackedMatchesUnpackedSharedScratch: the packed MGS sweep (the
+// default) and the flat-arena MGSUnpacked sweep produce bitwise
+// identical results while alternating mid-run over one shared pooled
+// scratch across worker budgets — the reuse pattern a workspace-backed
+// job worker produces, and the one where stale packed state or a
+// misrouted arena would surface.
+func TestMGSPackedMatchesUnpackedSharedScratch(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	n, s := 9000, 9
+	degrees := randDegrees(n, 3)
+	sc := NewScratch(n, s)
+	for _, d := range [][]float64{nil, degrees} {
+		// Non-pooled reference: fresh storage, nothing aliased.
+		ref := DOrthogonalizeBudget(parallel.FixedBudget(1), randMatrix(n, s, 7), d, MGSUnpacked, nil)
+		for _, bud := range []parallel.Budget{
+			parallel.FixedBudget(1),
+			parallel.FixedBudget(2),
+			parallel.FixedBudget(4),
+			parallel.Live(),
+		} {
+			for _, method := range []Method{MGS, MGSUnpacked, MGS} {
+				got := DOrthogonalizeBudget(bud, randMatrix(n, s, 7), d, method, sc)
+				if len(got.Kept) != len(ref.Kept) || got.Dropped != ref.Dropped {
+					t.Fatalf("%v workers=%d: kept %d/dropped %d, want %d/%d",
+						method, bud.Workers(), len(got.Kept), got.Dropped, len(ref.Kept), ref.Dropped)
+				}
+				for j := range ref.DNorms {
+					if got.DNorms[j] != ref.DNorms[j] {
+						t.Fatalf("%v workers=%d: DNorms[%d] %v != %v",
+							method, bud.Workers(), j, got.DNorms[j], ref.DNorms[j])
 					}
 				}
 				for k := range ref.S.Data {

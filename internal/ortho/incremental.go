@@ -60,6 +60,10 @@ func NewIncrementalBudget(bud parallel.Budget, n int, d []float64, sc *Scratch) 
 		}
 		sc.Ensure(n, cols)
 	}
+	// The coupled sweep projects against the flat arena: it stays bitwise
+	// identical to the packed batch path (both mirror projectPanels), and
+	// the flat columns are what the per-pivot Add hands out.
+	sc.ensureCols()
 	s0 := sc.cols[0]
 	linalg.FillBudget(bud, s0, 1/math.Sqrt(float64(n)))
 	return &Incremental{
@@ -119,6 +123,7 @@ func (inc *Incremental) grow() {
 		ns = 4
 	}
 	sc := NewScratch(inc.n, ns)
+	sc.ensureCols()
 	for j := range inc.kept {
 		linalg.CopyVecBudget(inc.bud, sc.cols[j], inc.kept[j])
 	}

@@ -40,6 +40,12 @@ const (
 	// (Level-1 BLAS only). Kept as the numerical reference and as the
 	// baseline the kernel-budget perf gate measures panel MGS against.
 	MGSLevel1
+	// MGSUnpacked is panel-blocked MGS projecting against the flat
+	// kept-column arena — the pre-packing formulation, kept as the
+	// ablation baseline the packed perf gate measures MGS against.
+	// Bitwise identical to MGS, which runs the same sweep out of the
+	// cache-resident tile-major store.
+	MGSUnpacked
 )
 
 func (m Method) String() string {
@@ -48,6 +54,8 @@ func (m Method) String() string {
 		return "CGS"
 	case MGSLevel1:
 		return "MGS-L1"
+	case MGSUnpacked:
+		return "MGS-flat"
 	default:
 		return "MGS"
 	}
@@ -104,6 +112,10 @@ func DOrthogonalizeBudget(bud parallel.Budget, b *linalg.Dense, d []float64, met
 	} else {
 		sc = NewScratch(n, s)
 	}
+	if method == MGS {
+		return dOrthoPacked(bud, b, d, sc, pooled)
+	}
+	sc.ensureCols()
 	// s0 = 1/√n: the degenerate direction every column must be cleaned of.
 	s0 := sc.cols[0]
 	linalg.FillBudget(bud, s0, 1/math.Sqrt(float64(n)))
@@ -175,6 +187,87 @@ func DOrthogonalizeBudget(bud parallel.Budget, b *linalg.Dense, d []float64, met
 		Kept:    append([]int(nil), keptIdx...),
 		Dropped: dropped,
 	}
+}
+
+// dOrthoPacked is the default MGS sweep running against the scratch's
+// tile-major packed kept-column store instead of the flat arena: each
+// kept column is packed once when it survives (the same fused
+// scale-copy-D-norm write the flat path performs) and every later panel
+// projection streams it from padded cache-resident tile slots, so the
+// sweep's dominant re-read traffic stops aliasing on the power-of-two
+// column strides of layout-sized problems. Every kernel mirrors its
+// flat counterpart's tiling and per-element accumulation order, so the
+// packed sweep is bitwise identical to MGSUnpacked (and to the MGS
+// results of every release before packing) for every worker budget.
+func dOrthoPacked(bud parallel.Budget, b *linalg.Dense, d []float64, sc *Scratch, pooled bool) Result {
+	n, s := b.Rows, b.Cols
+	pk := sc.ensurePacked()
+	work := sc.work
+	// s0 = 1/√n: packed via the fused append (a·1.0 reproduces the flat
+	// fill's value exactly, and the append's D-norm pass is bitwise
+	// dNormP).
+	linalg.FillBudget(bud, work, 1/math.Sqrt(float64(n)))
+	keptDN := append(sc.dNorms[:0], pk.AppendScaledDDotBudget(bud, work, d, 1, sc.partials))
+	keptIdx := sc.keptIdx[:0]
+
+	coeffs := sc.coeffs[:0]
+	dropped := 0
+	for i := 0; i < s; i++ {
+		src := b.Col(i)
+		nrm := norm2P(bud, src, sc.partials)
+		if nrm <= DropTolerance {
+			dropped++
+			continue
+		}
+		linalg.ScaledCopyBudget(bud, work, src, 1/nrm)
+		coeffs = projectPanelsPacked(bud, pk, keptDN, work, d, coeffs, sc)
+		res := norm2P(bud, work, sc.partials)
+		if res <= DropTolerance {
+			dropped++
+			continue
+		}
+		// Keep: normalize into the packed store and compute the D-norm in
+		// the same fused pass.
+		dn := pk.AppendScaledDDotBudget(bud, work, d, 1/res, sc.partials)
+		keptDN = append(keptDN, dn)
+		keptIdx = append(keptIdx, i)
+	}
+	sc.dNorms, sc.keptIdx, sc.coeffs = keptDN[:0], keptIdx[:0], coeffs[:0]
+
+	if pooled {
+		return sc.resultPacked(bud, pk, keptDN, keptIdx, dropped)
+	}
+	out := linalg.NewDense(n, len(keptIdx))
+	for j := range keptIdx {
+		pk.CopyColIntoBudget(bud, out.Col(j), j+1) // skip the constant column
+	}
+	return Result{
+		S:       out,
+		DNorms:  append([]float64(nil), keptDN[1:]...),
+		Kept:    append([]int(nil), keptIdx...),
+		Dropped: dropped,
+	}
+}
+
+// projectPanelsPacked is projectPanels against the packed store: the
+// same PanelCols-wide panel walk with one fused multi-dot and one fused
+// multi-axpy per panel, reading the kept columns from their tile slots.
+// Panel boundaries, chunk shapes, and accumulation orders match
+// projectPanels exactly, so the two are bitwise interchangeable.
+func projectPanelsPacked(bud parallel.Budget, pk *linalg.PackedCols, keptDN []float64, work, d, coeffs []float64, sc *Scratch) []float64 {
+	k := pk.Len()
+	for p0 := 0; p0 < k; p0 += linalg.PanelCols {
+		p1 := p0 + linalg.PanelCols
+		if p1 > k {
+			p1 = k
+		}
+		coeffs = pk.DDotPanelRangeBudget(bud, p0, p1, work, d, coeffs[:0], sc.panelPartials)
+		for j := range coeffs {
+			coeffs[j] /= keptDN[p0+j]
+		}
+		pk.SubtractScaledRangeBudget(bud, p0, p1, work, coeffs)
+	}
+	return coeffs
 }
 
 // projectPanels removes work's components along the kept columns with

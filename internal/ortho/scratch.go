@@ -2,6 +2,7 @@ package ortho
 
 import (
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Scratch owns the DOrtho phase's reusable storage: the kept-column arena
@@ -16,8 +17,11 @@ import (
 // Kept), so they are valid only until the Scratch's next use.
 type Scratch struct {
 	n, s     int
-	arena    []float64   // (s+1)·n backing for kept columns
-	cols     [][]float64 // views into arena, rebuilt on ensure
+	arena    []float64   // (s+1)·n backing for kept columns (flat paths, lazy)
+	cols     [][]float64 // views into arena, rebuilt on ensureCols
+	colsN    int         // shape the arena/cols were last built for
+	colsS    int
+	packed   *linalg.PackedCols // tile-major kept-column store (packed MGS, lazy)
 	work     []float64
 	partials []float64 // reduction partials shared by every dot in a sweep
 	// panelPartials is the per-block arena of the fused panel multi-dot:
@@ -39,21 +43,13 @@ func NewScratch(n, s int) *Scratch {
 }
 
 // Ensure grows the scratch to cover (n, s); sufficient buffers are kept,
-// so same-shape reuse touches no allocator.
+// so same-shape reuse touches no allocator. The kept-column stores are
+// lazy — ensureCols (flat paths) and ensurePacked (packed MGS) size
+// their own storage on first use, so a scratch only pays for the sweep
+// variant actually running through it.
 func (sc *Scratch) Ensure(n, s int) {
 	if sc.n == n && sc.s >= s {
 		return
-	}
-	if cap(sc.arena) < (s+1)*n {
-		sc.arena = make([]float64, (s+1)*n)
-	}
-	sc.arena = sc.arena[:(s+1)*n]
-	if cap(sc.cols) < s+1 {
-		sc.cols = make([][]float64, 0, s+1)
-	}
-	sc.cols = sc.cols[:s+1]
-	for j := range sc.cols {
-		sc.cols[j] = sc.arena[j*n : (j+1)*n]
 	}
 	if cap(sc.work) < n {
 		sc.work = make([]float64, n)
@@ -78,6 +74,54 @@ func (sc *Scratch) Ensure(n, s int) {
 		sc.keptIdx = make([]int, 0, s)
 	}
 	sc.n, sc.s = n, s
+}
+
+// ensureCols builds the flat kept-column arena for the current (n, s) —
+// called at the top of every flat sweep (CGS, MGSLevel1, MGSUnpacked,
+// Incremental) so the packed MGS path never pays for storage it does
+// not touch.
+func (sc *Scratch) ensureCols() {
+	n, s := sc.n, sc.s
+	if sc.colsN == n && sc.colsS >= s {
+		return
+	}
+	if cap(sc.arena) < (s+1)*n {
+		sc.arena = make([]float64, (s+1)*n)
+	}
+	sc.arena = sc.arena[:(s+1)*n]
+	if cap(sc.cols) < s+1 {
+		sc.cols = make([][]float64, 0, s+1)
+	}
+	sc.cols = sc.cols[:s+1]
+	for j := range sc.cols {
+		sc.cols[j] = sc.arena[j*n : (j+1)*n]
+	}
+	sc.colsN, sc.colsS = n, s
+}
+
+// ensurePacked shapes (and resets) the tile-major kept-column store for
+// the current (n, s) — called at the top of every packed MGS sweep.
+func (sc *Scratch) ensurePacked() *linalg.PackedCols {
+	if sc.packed == nil {
+		sc.packed = &linalg.PackedCols{}
+	}
+	sc.packed.Ensure(sc.n, sc.s+1)
+	return sc.packed
+}
+
+// resultPacked is result over the packed store: kept columns 1…k
+// (constant column excluded) are unpacked into the output views.
+func (sc *Scratch) resultPacked(bud parallel.Budget, pk *linalg.PackedCols, keptDN []float64, keptIdx []int, dropped int) Result {
+	out := linalg.ViewDense(sc.sOut.Data, sc.n, len(keptIdx))
+	for j := range keptIdx {
+		pk.CopyColIntoBudget(bud, out.Col(j), j+1) // skip the constant column
+	}
+	return Result{
+		S:       out,
+		DNorms:  keptDN[1:],
+		Kept:    keptIdx,
+		Dropped: dropped,
+	}
 }
 
 // result packages the kept arena columns (constant column excluded) as a

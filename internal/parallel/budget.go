@@ -60,6 +60,40 @@ func (b Budget) Serial(n int) bool {
 	return b.Workers() <= 1 || n < 2*MinGrain
 }
 
+// BlockWorkers reports how many workers ForBlock would actually fan a
+// length-n loop across under this budget — Workers() clamped by the
+// MinGrain floor. Packed kernels call it once at entry to size their
+// per-worker arenas, then fan out across exactly that count via
+// ForBlockIndexed, so a live budget's GOMAXPROCS moving between the two
+// calls can never send a worker to a slot that was not sized.
+func (b Budget) BlockWorkers(n int) int {
+	return blockWorkers(n, b.Workers())
+}
+
+// ForBlockIndexed divides [0, n) into one contiguous block per worker —
+// the same w·n/p partition as Budget.ForBlock — and runs body(w, lo, hi)
+// on each block concurrently, with w the owning worker's index. The
+// worker count is the caller's, already clamped (BlockWorkers), so the
+// fan-out matches whatever per-worker state the caller sized for it.
+func ForBlockIndexed(workers, n int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w, w*n/workers, (w+1)*n/workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
 // For executes body(i) for every i in [0, n) using up to Workers()
 // goroutines, in contiguous per-worker blocks (static scheduling).
 func (b Budget) For(n int, body func(i int)) {

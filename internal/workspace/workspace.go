@@ -62,6 +62,11 @@ type Workspace struct {
 	// so no worker-count change can desynchronize it from the kernel's
 	// tile grid.
 	GemmPartials []float64
+	// Pack is the per-worker packed-chunk arena of the cache-resident
+	// dense kernels (packed AᵀB and the fused TripleProd unpack). The
+	// kernels size it themselves from the worker count they snapshot at
+	// entry, so it carries across budget changes; it only grows.
+	Pack *linalg.PackArena
 	// Coords backs the n×p output layout. The Layout returned from a
 	// workspace-backed run aliases it; Clone before the next run if
 	// retained.
@@ -103,6 +108,9 @@ func (ws *Workspace) Reshape(n, s, p int) {
 	ws.P = growFloat(ws.P, n*s)
 	ws.Z = growFloat(ws.Z, s*s)
 	ws.GemmPartials = growFloat(ws.GemmPartials, linalg.ReduceBlocks(n)*s*s)
+	if ws.Pack == nil {
+		ws.Pack = &linalg.PackArena{}
+	}
 	ws.Coords = growFloat(ws.Coords, n*p)
 	ws.Warm = growFloat(ws.Warm, n*p)
 	ws.n, ws.s = n, s

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// operationsFlagRows extracts the flag names documented in
+// OPERATIONS.md's "## Flag reference" table (first-column code spans of
+// the form `-name`).
+func operationsFlagRows(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("read OPERATIONS.md: %v", err)
+	}
+	doc := string(raw)
+	header := "## Flag reference"
+	i := strings.Index(doc, header)
+	if i < 0 {
+		t.Fatalf("section %q not found in OPERATIONS.md", header)
+	}
+	body := doc[i+len(header):]
+	if j := strings.Index(body, "\n## "); j >= 0 {
+		body = body[:j]
+	}
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `-") {
+			continue
+		}
+		cell := strings.TrimPrefix(line, "| `-")
+		end := strings.Index(cell, "`")
+		if end < 0 {
+			t.Fatalf("unterminated code span in flag table row: %s", line)
+		}
+		out = append(out, cell[:end])
+	}
+	if len(out) == 0 {
+		t.Fatal("no flag rows found under the Flag reference table")
+	}
+	return out
+}
+
+// TestOperationsDocFlagTableMatchesFlagSet holds OPERATIONS.md's flag
+// reference to the binary's live flag set (newFlagSet), in both
+// directions: a flag added without documentation fails, and a
+// documented flag the binary no longer accepts fails.
+func TestOperationsDocFlagTableMatchesFlagSet(t *testing.T) {
+	documented := operationsFlagRows(t)
+	docSet := make(map[string]bool)
+	for _, name := range documented {
+		if docSet[name] {
+			t.Errorf("OPERATIONS.md documents -%s twice", name)
+		}
+		docSet[name] = true
+	}
+
+	var opt options
+	live := make(map[string]bool)
+	newFlagSet(&opt).VisitAll(func(f *flag.Flag) { live[f.Name] = true })
+
+	for name := range live {
+		if !docSet[name] {
+			t.Errorf("flag -%s is registered but missing from OPERATIONS.md's Flag reference", name)
+		}
+	}
+	for name := range docSet {
+		if !live[name] {
+			t.Errorf("OPERATIONS.md documents -%s which the binary does not register", name)
+		}
+	}
+}

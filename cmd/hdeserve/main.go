@@ -10,7 +10,16 @@
 // PATCH /graphs/{name} applies edge/vertex mutation batches and queues a
 // warm-start refinement of the previous layout, whose coordinate deltas
 // stream to GET /graphs/{name}/stream subscribers as versioned
-// Server-Sent Events. See the README for curl examples.
+// Server-Sent Events. See API.md for the full endpoint reference.
+//
+// The same binary scales out (-mode): "single" is the classic one
+// process doing everything; "worker" is one shard of a fleet, with a
+// stable -worker-id that prefixes its job ids and a -data-dir it can
+// recover its catalog and interrupted jobs from after a crash;
+// "router" is the stateless front end that consistently hashes graph
+// names across -peers, replicates uploads, retries idempotent reads on
+// sibling replicas, and caches hot rendered tiles with ETag
+// revalidation. OPERATIONS.md covers the deployment topologies.
 //
 // The HTTP server is hardened for real traffic: read/write/idle
 // timeouts (so slow clients cannot pin connections), a byte-budget
@@ -22,6 +31,8 @@
 //
 //	hdeserve -in graph.txt -addr :8080
 //	hdeserve -demo            # built-in plate mesh, no input file
+//	hdeserve -mode worker -worker-id w1 -demo -addr :8081 -data-dir /var/lib/hde/w1
+//	hdeserve -mode router -peers http://h1:8081,http://h2:8081 -addr :8080
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,92 +50,134 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
-	var (
-		in     = flag.String("in", "", "input graph file (edge list)")
-		format = flag.String("format", "edges", "input format: edges, mtx, bin")
-		demo   = flag.Bool("demo", false, "serve the built-in plate-with-holes demo mesh")
-		s      = flag.Int("s", 50, "subspace dimension")
-		addr   = flag.String("addr", "localhost:8080", "listen address")
+	var opt options
+	fs := newFlagSet(&opt)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
 
-		cacheBytes = flag.Int64("cache-bytes", server.DefaultCacheBytes,
-			"render cache budget in bytes (negative = unbounded)")
-		maxRenders = flag.Int("max-renders", 0,
-			"max concurrently executing renders (0 = GOMAXPROCS)")
-		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
-		quiet   = flag.Bool("quiet", false, "disable the per-request access log")
+	switch opt.mode {
+	case "single", "worker":
+		runServer(fs, opt)
+	case "router":
+		runRouter(opt)
+	default:
+		log.Fatalf("unknown -mode %q (have single, worker, router)", opt.mode)
+	}
+}
 
-		workers = flag.Int("workers", 0,
-			"layout job worker pool size (0 = GOMAXPROCS)")
-		queueDepth = flag.Int("queue-depth", 0,
-			"bounded job queue depth; further submissions get HTTP 429 (0 = default)")
-		jobsTTL = flag.Duration("jobs-ttl", 0,
-			"how long finished jobs stay queryable (0 = default, negative = forever)")
-		dataDir = flag.String("data-dir", "",
-			"directory to persist completed job results (empty = off)")
-		catalogBytes = flag.Int64("catalog-bytes", 0,
-			"graph catalog byte budget; LRU-evicts unpinned graphs (0 = default, negative = unbounded)")
-		maxUpload = flag.Int64("max-upload", 0,
-			"per-request graph upload size cap in bytes (0 = default)")
-		rebuildThreshold = flag.Int("rebuild-threshold", 0,
-			"pending mutated edges before a dynamic graph's CSR is rebuilt (0 = default, negative = rebuild only on refresh)")
-
-		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
-		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
-		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second,
-			"how long graceful shutdown waits for in-flight requests")
-	)
-	flag.Parse()
+// runServer is the single/worker path: load a startup graph, lay it
+// out, serve. The only difference between the two modes is a worker's
+// stable identity (job-id prefix + response header + /shardz).
+func runServer(fs *flag.FlagSet, opt options) {
+	if opt.mode == "worker" && opt.workerID == "" {
+		log.Fatal("-mode worker requires -worker-id")
+	}
+	if opt.mode == "single" && opt.workerID != "" {
+		log.Fatal("-worker-id only applies to -mode worker")
+	}
 
 	var g *graph.CSR
 	switch {
-	case *demo:
+	case opt.demo:
 		g = gen.PlateWithHoles(120, 120)
-	case *in != "":
-		f, err := os.Open(*in)
+	case opt.in != "":
+		f, err := os.Open(opt.in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		g, err = graph.Read(f, *format, graph.BuildOptions{})
+		var rerr error
+		g, rerr = graph.Read(f, opt.format, graph.BuildOptions{})
 		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		if rerr != nil {
+			log.Fatal(rerr)
 		}
 	default:
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
 
 	cfg := server.Config{
-		CacheBytes:           *cacheBytes,
-		MaxConcurrentRenders: *maxRenders,
-		EnablePprof:          *pprofOn,
-		Workers:              *workers,
-		QueueDepth:           *queueDepth,
-		JobsTTL:              *jobsTTL,
-		DataDir:              *dataDir,
-		CatalogBytes:         *catalogBytes,
-		MaxUploadBytes:       *maxUpload,
-		RebuildThreshold:     *rebuildThreshold,
+		WorkerID:             opt.workerID,
+		CacheBytes:           opt.cacheBytes,
+		MaxConcurrentRenders: opt.maxRenders,
+		EnablePprof:          opt.pprofOn,
+		Workers:              opt.workers,
+		QueueDepth:           opt.queueDepth,
+		JobsTTL:              opt.jobsTTL,
+		DataDir:              opt.dataDir,
+		CatalogBytes:         opt.catalogBytes,
+		MaxUploadBytes:       opt.maxUpload,
+		RebuildThreshold:     opt.rebuildThreshold,
 	}
-	if !*quiet {
+	if !opt.quiet {
 		cfg.AccessLog = log.New(os.Stderr, "access ", log.LstdFlags)
 	}
-	srv, err := server.NewWithConfig(g, core.Options{Subspace: *s, Seed: 1}, cfg)
+	srv, err := server.NewWithConfig(g, core.Options{Subspace: opt.subspace, Seed: 1}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	role := ""
+	if opt.workerID != "" {
+		role = " as worker " + opt.workerID
+	}
+	log.Printf("serving layout of n=%d m=%d on http://%s/%s (layout took %v)",
+		g.NumV, g.NumEdges(), opt.addr, role,
+		srv.Report().Breakdown.Total.Round(time.Millisecond))
+	serveUntilSignal(opt, srv.Handler(), srv.Close)
+}
+
+// runRouter is the stateless front-end path: no graph, no layout, just
+// the ring, the fleet, and the tile cache.
+func runRouter(opt options) {
+	var peers []string
+	for _, p := range strings.Split(opt.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peers) == 0 {
+		log.Fatal("-mode router requires -peers (comma-separated worker URLs)")
+	}
+	cfg := shard.Config{
+		Peers:          peers,
+		Replication:    opt.replication,
+		VirtualNodes:   opt.virtualNodes,
+		HealthInterval: opt.healthInterval,
+		CacheBytes:     opt.routerCache,
+		MaxUploadBytes: opt.maxUpload,
+	}
+	if !opt.quiet {
+		cfg.Logger = log.New(os.Stderr, "access ", log.LstdFlags)
+	}
+	rt, err := shard.NewRouter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing for %d workers (replication %d) on http://%s/",
+		len(peers), opt.replication, opt.addr)
+	serveUntilSignal(opt, rt.Handler(), rt.Close)
+}
+
+// serveUntilSignal runs the hardened HTTP server until SIGINT/SIGTERM,
+// then drains in-flight requests and calls shutdown (job-engine close
+// for a worker, health-loop stop for a router).
+func serveUntilSignal(opt options, h http.Handler, shutdown func()) {
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadTimeout:       *readTimeout,
+		Addr:              opt.addr,
+		Handler:           h,
+		ReadTimeout:       opt.readTimeout,
 		ReadHeaderTimeout: 5 * time.Second,
-		WriteTimeout:      *writeTimeout,
-		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      opt.writeTimeout,
+		IdleTimeout:       opt.idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -131,20 +185,18 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving layout of n=%d m=%d on http://%s/ (layout took %v)",
-		g.NumV, g.NumEdges(), *addr, srv.Report().Breakdown.Total.Round(time.Millisecond))
 
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		log.Printf("signal received; draining in-flight requests (up to %v)", *drainTimeout)
-		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		log.Printf("signal received; draining in-flight requests (up to %v)", opt.drainTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		srv.Close() // cancel queued/running layout jobs, stop the workers
+		shutdown()
 	}
 }

@@ -1,0 +1,472 @@
+// Command hdesoak soak-tests a sharded hdeserve fleet end to end, with
+// real processes: it starts a router and N workers from a built hdeserve
+// binary, drives mixed upload/job/read traffic through the router,
+// SIGKILLs one worker mid-run and restarts it on the same address and
+// data directory, and verifies the zero-dropped-jobs invariant — every
+// accepted submission ends as exactly one persisted record with no
+// journaled intent left behind.
+//
+// It also measures scale-out: the same job batch runs against a 1-worker
+// fleet and an N-worker fleet (each worker pinned to GOMAXPROCS=1, so a
+// worker models one fixed-size box) and the jobs/sec ratio is reported.
+// Results are written as JSON for CI artifacts and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go build -o /tmp/hdeserve ./cmd/hdeserve
+//	go run ./cmd/hdesoak -bin /tmp/hdeserve -out soak_shard.json
+//
+// With -min-speedup X the run fails if the N-vs-1 throughput ratio falls
+// below X — but only when the host has at least N CPUs; on smaller
+// hosts the ratio is recorded and the gate is skipped.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+type options struct {
+	bin        string
+	workers    int
+	jobs       int
+	gridSide   int
+	subspace   int
+	basePort   int
+	out        string
+	minSpeedup float64
+}
+
+// proc is one fleet member: a real hdeserve process we can SIGKILL and
+// restart with identical arguments.
+type proc struct {
+	name string
+	args []string
+	env  []string
+	url  string
+	cmd  *exec.Cmd
+}
+
+func (p *proc) start(bin string) error {
+	p.cmd = exec.Command(bin, p.args...)
+	p.cmd.Env = append(os.Environ(), p.env...)
+	p.cmd.Stderr = os.Stderr
+	if err := p.cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", p.name, err)
+	}
+	go p.cmd.Wait() // reap whenever it exits; we poll health, not the process
+	return nil
+}
+
+func (p *proc) kill() {
+	if p.cmd != nil && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+func waitHealthy(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s not healthy after %v", url, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fleet is a router plus its workers, with the temp data dirs that hold
+// the durable state the invariants are checked against.
+type fleet struct {
+	router  *proc
+	workers []*proc
+	dirs    []string
+}
+
+func (f *fleet) stop() {
+	if f.router != nil {
+		f.router.kill()
+	}
+	for _, w := range f.workers {
+		w.kill()
+	}
+}
+
+// startFleet launches n workers (GOMAXPROCS=1 each — one worker models
+// one fixed-size box) and a router with replication 1, so that exactly
+// one persisted record per accepted job is the correct final count.
+func startFleet(opt options, n int, tmp, label string) (*fleet, error) {
+	// Pre-flight: every port must be free, or a stray process from an
+	// earlier run would answer our health checks in the fleet's place.
+	// The previous phase's SIGKILLed fleet can take a moment to release
+	// its ports, so give each one a few seconds.
+	for i := 0; i <= n; i++ {
+		addr := fmt.Sprintf("127.0.0.1:%d", opt.basePort+i)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ln, err := net.Listen("tcp", addr)
+			if err == nil {
+				ln.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("port check %s: %w (stray hdeserve process?)", addr, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	f := &fleet{}
+	var peers []string
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("127.0.0.1:%d", opt.basePort+1+i)
+		dir := filepath.Join(tmp, fmt.Sprintf("%s-w%d", label, i+1))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		w := &proc{
+			name: fmt.Sprintf("w%d", i+1),
+			url:  "http://" + addr,
+			env:  []string{"GOMAXPROCS=1"},
+			args: []string{
+				"-mode", "worker", "-worker-id", fmt.Sprintf("w%d", i+1),
+				"-demo", "-s", "8", "-addr", addr, "-data-dir", dir,
+				"-workers", "1", "-queue-depth", "256", "-quiet",
+			},
+		}
+		if err := w.start(opt.bin); err != nil {
+			f.stop()
+			return nil, err
+		}
+		f.workers = append(f.workers, w)
+		f.dirs = append(f.dirs, dir)
+		peers = append(peers, w.url)
+	}
+	raddr := fmt.Sprintf("127.0.0.1:%d", opt.basePort)
+	f.router = &proc{
+		name: "router",
+		url:  "http://" + raddr,
+		args: []string{
+			"-mode", "router", "-addr", raddr, "-quiet",
+			"-peers", strings.Join(peers, ","), "-replication", "1",
+		},
+	}
+	if err := f.router.start(opt.bin); err != nil {
+		f.stop()
+		return nil, err
+	}
+	for _, w := range f.workers {
+		if err := waitHealthy(w.url, 60*time.Second); err != nil {
+			f.stop()
+			return nil, err
+		}
+	}
+	if err := waitHealthy(f.router.url, 30*time.Second); err != nil {
+		f.stop()
+		return nil, err
+	}
+	return f, nil
+}
+
+func post(url, ctype string, body []byte) (int, []byte, string, error) {
+	resp, err := http.Post(url, ctype, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes(), resp.Header.Get("X-Hdeserve-Worker"), nil
+}
+
+// drain polls every worker until no job is queued or running and no
+// intent file remains in any data dir.
+func (f *fleet) drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		busy := false
+		for _, w := range f.workers {
+			resp, err := http.Get(w.url + "/jobs")
+			if err != nil {
+				busy = true // restarting worker; keep waiting
+				break
+			}
+			var list struct {
+				Jobs []struct {
+					ID    string `json:"id"`
+					State string `json:"state"`
+					Error string `json:"error"`
+				} `json:"jobs"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&list)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			for _, j := range list.Jobs {
+				if j.State == "queued" || j.State == "running" {
+					busy = true
+				}
+				if j.State == "failed" {
+					return fmt.Errorf("job %s failed: %s", j.ID, j.Error)
+				}
+			}
+		}
+		if !busy {
+			if n := countFiles(f.dirs, ".intent.json"); n == 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet did not drain within %v (%d intents left)",
+				timeout, countFiles(f.dirs, ".intent.json"))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// countFiles counts files across the fleet's data dirs: records are
+// "*.json" minus the "*.intent.json" journal entries.
+func countFiles(dirs []string, suffix string) int {
+	n := 0
+	for _, dir := range dirs {
+		paths, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+		for _, p := range paths {
+			isIntent := strings.HasSuffix(p, ".intent.json")
+			if (suffix == ".intent.json") == isIntent {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+type phaseResult struct {
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobsPerSec"`
+	Restarted  bool    `json:"restartedWorker"`
+	Replayed   int     `json:"replayedIntents"`
+	Records    int     `json:"records"`
+	Intents    int     `json:"intentsLeft"`
+}
+
+// runPhase uploads graphs, pushes the job batch through the router, and
+// (optionally) SIGKILLs + restarts one worker mid-run. The makespan is
+// first submit → fleet drained, i.e. restart recovery counts against
+// throughput, as it would in production.
+func runPhase(opt options, f *fleet, restart bool) (phaseResult, error) {
+	res := phaseResult{Workers: len(f.workers), Jobs: opt.jobs, Restarted: restart}
+
+	var edges bytes.Buffer
+	if err := graph.WriteEdgeList(&edges, gen.Grid2D(opt.gridSide, opt.gridSide)); err != nil {
+		return res, err
+	}
+	// One graph name per fleet slot ×2 so the ring has names to spread;
+	// job i goes to graph i mod len(names). The X-Hdeserve-Worker header
+	// on each upload response names the shard the router placed it on.
+	victim := f.workers[len(f.workers)-1]
+	names := make([]string, 0, 2*len(f.workers))
+	victimName := ""
+	uploadTo := func(name string) (owner string, err error) {
+		code, body, owner, err := post(f.router.url+"/graphs?name="+name, "text/plain", edges.Bytes())
+		if err != nil {
+			return "", err
+		}
+		if code != http.StatusCreated {
+			return "", fmt.Errorf("upload %s: status %d: %s", name, code, body)
+		}
+		return owner, nil
+	}
+	for i := 0; i < 2*len(f.workers); i++ {
+		name := fmt.Sprintf("soak%d", i)
+		owner, err := uploadTo(name)
+		if err != nil {
+			return res, err
+		}
+		if owner == victim.name {
+			victimName = name
+		}
+		names = append(names, name)
+	}
+	// The restart phase needs a graph on the victim's shard to pin it
+	// down with; scan extra names until the ring lands one there.
+	for i := 0; restart && victimName == "" && i < 256; i++ {
+		name := fmt.Sprintf("pin%d", i)
+		owner, err := uploadTo(name)
+		if err != nil {
+			return res, err
+		}
+		if owner == victim.name {
+			victimName = name
+		}
+	}
+	if restart && victimName == "" {
+		return res, fmt.Errorf("no probe name hashed to %s", victim.name)
+	}
+
+	start := time.Now()
+	accepted := 0
+	submit := func(name string) error {
+		spec := fmt.Sprintf(`{"graph":%q,"subspace":%d,"seed":1,"skipQuality":true}`,
+			name, opt.subspace)
+		code, body, _, err := post(f.router.url+"/jobs", "application/json", []byte(spec))
+		if err != nil {
+			return err
+		}
+		if code != http.StatusAccepted {
+			return fmt.Errorf("submit %s: status %d: %s", name, code, body)
+		}
+		accepted++
+		return nil
+	}
+	for i := 0; i < opt.jobs; i++ {
+		if err := submit(names[i%len(names)]); err != nil {
+			return res, err
+		}
+	}
+
+	if restart {
+		// Pin the victim's single pool worker with a backlog, then
+		// SIGKILL it with work queued and running.
+		for i := 0; i < 4; i++ {
+			if err := submit(victimName); err != nil {
+				return res, err
+			}
+		}
+		log.Printf("SIGKILL %s mid-run", victim.name)
+		victim.kill()
+		time.Sleep(300 * time.Millisecond) // let the OS release the port
+		res.Replayed = countFiles(f.dirs[len(f.dirs)-1:], ".intent.json")
+		log.Printf("%s died with %d journaled jobs unresolved", victim.name, res.Replayed)
+		if res.Replayed == 0 {
+			return res, fmt.Errorf("SIGKILL interrupted nothing; the victim drained its backlog first")
+		}
+		if err := victim.start(opt.bin); err != nil {
+			return res, err
+		}
+		if err := waitHealthy(victim.url, 60*time.Second); err != nil {
+			return res, err
+		}
+		log.Printf("%s restarted; replaying journaled jobs", victim.name)
+	}
+
+	if err := f.drain(5 * time.Minute); err != nil {
+		return res, err
+	}
+	res.Seconds = time.Since(start).Seconds()
+	res.JobsPerSec = float64(accepted) / res.Seconds
+	res.Records = countFiles(f.dirs, ".json")
+	res.Intents = countFiles(f.dirs, ".intent.json")
+	if res.Intents != 0 {
+		return res, fmt.Errorf("%d intents left after drain", res.Intents)
+	}
+	if res.Records != accepted {
+		return res, fmt.Errorf("records = %d, want %d (one per accepted job): jobs were dropped or duplicated",
+			res.Records, accepted)
+	}
+	return res, nil
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.bin, "bin", "", "path to a built hdeserve binary (required)")
+	flag.IntVar(&opt.workers, "workers", 4, "fleet size for the scaled phase")
+	flag.IntVar(&opt.jobs, "jobs", 24, "layout jobs per phase")
+	flag.IntVar(&opt.gridSide, "grid", 80, "side of the square grid graph each job lays out")
+	flag.IntVar(&opt.subspace, "s", 128, "job subspace dimension (bigger = slower jobs)")
+	flag.IntVar(&opt.basePort, "port", 18300, "base port (router; workers use the ports above it)")
+	flag.StringVar(&opt.out, "out", "soak_shard.json", "result JSON path")
+	flag.Float64Var(&opt.minSpeedup, "min-speedup", 0,
+		"fail if N-vs-1 jobs/sec ratio is below this (0 = record only; gate skipped when NumCPU < workers)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("hdesoak: ")
+	if opt.bin == "" {
+		log.Fatal("-bin is required (go build -o /tmp/hdeserve ./cmd/hdeserve)")
+	}
+
+	tmp, err := os.MkdirTemp("", "hdesoak")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// log.Fatal skips defers, so phase errors stop the fleet explicitly —
+	// a leaked worker process would outlive the harness and hold its port.
+	run := func(label string, n int, restart bool) phaseResult {
+		log.Printf("phase %s: %d worker(s), %d jobs, restart=%v", label, n, opt.jobs, restart)
+		f, err := startFleet(opt, n, tmp, label)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runPhase(opt, f, restart)
+		f.stop()
+		if err != nil {
+			os.RemoveAll(tmp)
+			log.Fatal(err)
+		}
+		log.Printf("phase done: %.1fs, %.2f jobs/s, %d records, 0 dropped",
+			res.Seconds, res.JobsPerSec, res.Records)
+		return res
+	}
+
+	// Three phases: the 1-vs-N throughput comparison runs clean (no
+	// restart, so the ratio measures scale-out, not recovery latency),
+	// then a separate N-worker phase proves the zero-dropped-jobs
+	// invariant across a SIGKILL + restart under load.
+	baseline := run("baseline", 1, false)
+	scaled := run("scaled", opt.workers, false)
+	restarted := run("restart", opt.workers, true)
+	speedup := scaled.JobsPerSec / baseline.JobsPerSec
+
+	out := struct {
+		Date      string      `json:"date"`
+		NumCPU    int         `json:"numCPU"`
+		Baseline  phaseResult `json:"baseline"`
+		Scaled    phaseResult `json:"scaled"`
+		Restarted phaseResult `json:"restarted"`
+		Speedup   float64     `json:"speedup"`
+	}{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		NumCPU:    runtime.NumCPU(),
+		Baseline:  baseline,
+		Scaled:    scaled,
+		Restarted: restarted,
+		Speedup:   speedup,
+	}
+	blob, _ := json.MarshalIndent(out, "", "  ")
+	if err := os.WriteFile(opt.out, append(blob, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("speedup %d-vs-1 workers: %.2fx (numCPU=%d) → %s",
+		opt.workers, speedup, runtime.NumCPU(), opt.out)
+
+	if opt.minSpeedup > 0 {
+		if runtime.NumCPU() < opt.workers {
+			log.Printf("speedup gate skipped: %d CPUs < %d workers", runtime.NumCPU(), opt.workers)
+		} else if speedup < opt.minSpeedup {
+			log.Fatalf("speedup %.2fx below required %.2fx", speedup, opt.minSpeedup)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Graph persistence: a layout worker that owns a shard of the catalog
+// saves every uploaded graph as a binary CSR file so a restart can
+// rebuild its shard from disk (the layout jobs themselves recover
+// separately through the jobs package's intent records). File names are
+// the catalog names — safe because validName already restricts them to a
+// filesystem-friendly character set.
+
+// savedExt is the on-disk suffix of a persisted graph snapshot.
+const savedExt = ".csr"
+
+// savedPath returns the snapshot path for a graph name inside dir.
+func savedPath(dir, name string) string {
+	return filepath.Join(dir, name+savedExt)
+}
+
+// SaveGraph writes g as dir/<name>.csr (creating dir), atomically via a
+// rename so a crash mid-write never leaves a truncated snapshot.
+func SaveGraph(dir, name string, g *graph.CSR) error {
+	if !validName.MatchString(name) || name == "." || name == ".." {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := savedPath(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteBinary(f, g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RemoveSaved deletes the persisted snapshot of name inside dir, if any.
+func RemoveSaved(dir, name string) error {
+	err := os.Remove(savedPath(dir, name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// LoadDir reads every *.csr snapshot in dir back into the catalog with
+// the file path as its source, skipping names already registered (the
+// pinned startup graph, typically). A missing dir is an empty shard, not
+// an error. Unreadable snapshots are skipped and reported in errs so one
+// corrupt file cannot keep a worker from rebuilding the rest of its
+// shard. It returns the names restored.
+func (c *Catalog) LoadDir(dir string) (restored []string, errs []error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), savedExt) {
+			continue
+		}
+		name := strings.TrimSuffix(ent.Name(), savedExt)
+		if _, ok := c.Get(name); ok {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		g, err := graph.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("catalog: restoring %s: %w", path, err))
+			continue
+		}
+		if err := c.Add(name, g, path); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		restored = append(restored, name)
+	}
+	return restored, errs
+}

@@ -1,0 +1,71 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g1, g2 := gen.Grid2D(8, 9), gen.Kron(6, 4, 7)
+	if err := SaveGraph(dir, "grid", g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveGraph(dir, "kron", g2); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveGraph(dir, "../evil", g1); err == nil {
+		t.Fatal("hostile name accepted")
+	}
+
+	c := New(-1)
+	if err := c.Add("grid", gen.Grid2D(3, 3), "pinned-before-restore"); err != nil {
+		t.Fatal(err)
+	}
+	restored, errs := c.LoadDir(dir)
+	if len(errs) != 0 {
+		t.Fatalf("restore errors: %v", errs)
+	}
+	if len(restored) != 1 || restored[0] != "kron" {
+		t.Fatalf("restored %v; want just kron (grid already registered)", restored)
+	}
+	got, ok := c.Get("kron")
+	if !ok || got.NumV != g2.NumV || got.NumEdges() != g2.NumEdges() {
+		t.Fatalf("kron round-trip: ok=%v n=%d m=%d", ok, got.NumV, got.NumEdges())
+	}
+	// The already-registered name kept its in-memory graph.
+	if g, _ := c.Get("grid"); g.NumV != 9 {
+		t.Fatalf("grid overwritten by restore: n=%d", g.NumV)
+	}
+
+	if err := RemoveSaved(dir, "kron"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveSaved(dir, "kron"); err != nil {
+		t.Fatalf("double remove not idempotent: %v", err)
+	}
+}
+
+func TestLoadDirSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveGraph(dir, "good", gen.Grid2D(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.csr"), []byte("not a csr"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(-1)
+	restored, errs := c.LoadDir(dir)
+	if len(restored) != 1 || restored[0] != "good" {
+		t.Fatalf("restored %v", restored)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("want 1 corrupt-file error, got %v", errs)
+	}
+	if restored, errs := New(-1).LoadDir(filepath.Join(dir, "missing")); restored != nil || errs != nil {
+		t.Fatalf("missing dir should be an empty shard, got %v %v", restored, errs)
+	}
+}

@@ -56,6 +56,10 @@ type Config struct {
 	// layout is internally parallel already, so more workers trade
 	// per-job latency for throughput under concurrent load.
 	Workers int
+	// IDPrefix is prepended to every job id. A sharded deployment gives
+	// each layout worker a distinct prefix ("w1-" → "w1-j000001") so the
+	// router can map a job id back to the process that owns it.
+	IDPrefix string
 	// KernelWorkers is the per-layout kernel worker budget
 	// (core.Options.Workers) applied to jobs that don't set their own.
 	// It defaults to max(1, GOMAXPROCS / Workers): with the pool
@@ -160,6 +164,12 @@ func New(cat *catalog.Catalog, cfg Config) *Engine {
 		},
 	}
 	cfg.Metrics.GaugeFunc("jobs_queue_depth", func() float64 { return float64(len(e.queue)) })
+	// Continue the id sequence past any persisted records of a previous
+	// life so a restarted worker never reuses an id (and never overwrites
+	// an old record on disk).
+	if cfg.DataDir != "" {
+		e.seq = maxPersistedSeq(cfg.DataDir, cfg.IDPrefix)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -171,6 +181,16 @@ func New(cat *catalog.Catalog, cfg Config) *Engine {
 // graph immediately (so a later eviction cannot break a queued job) and
 // rejects with ErrQueueFull when the queue is saturated.
 func (e *Engine) Submit(graphName string, cfg pipeline.Config) (*Job, error) {
+	return e.SubmitSpec(graphName, cfg, nil)
+}
+
+// SubmitSpec is Submit plus a self-contained, re-parseable description of
+// the request (the validated API body, typically). With DataDir set the
+// spec is journaled as an intent record before the job is enqueued, so a
+// worker that dies mid-run can recover the job on restart (see
+// PendingIntents). A nil spec submits without an intent: the job runs
+// normally but is not crash-recoverable.
+func (e *Engine) SubmitSpec(graphName string, cfg pipeline.Config, spec []byte) (*Job, error) {
 	g, ok := e.cat.Get(graphName)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", catalog.ErrNotFound, graphName)
@@ -184,9 +204,10 @@ func (e *Engine) Submit(graphName string, cfg pipeline.Config) (*Job, error) {
 	e.seq++
 	ctx, cancel := context.WithCancel(e.baseCtx)
 	j := &Job{
-		id:      fmt.Sprintf("j%06d", e.seq),
+		id:      fmt.Sprintf("%sj%06d", e.cfg.IDPrefix, e.seq),
 		graph:   graphName,
 		g:       g,
+		spec:    spec,
 		cfg:     cfg,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -195,6 +216,14 @@ func (e *Engine) Submit(graphName string, cfg pipeline.Config) (*Job, error) {
 	}
 	select {
 	case e.queue <- j:
+		// Journal the intent before Submit returns: once the caller holds
+		// a 202, the job either completes or survives as a pending intent.
+		// (A small file write under e.mu — submissions are not a hot path.)
+		if spec != nil && e.cfg.DataDir != "" {
+			if err := e.writeIntent(j); err != nil && e.cfg.Logger != nil {
+				e.cfg.Logger.Printf("jobs: journaling intent for %s: %v", j.id, err)
+			}
+		}
 		e.jobs[j.id] = j
 		e.submitted.Inc()
 		return j, nil
@@ -240,6 +269,12 @@ func (e *Engine) Cancel(id string) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
+	// Mark this as an explicit caller cancellation before the context
+	// fires: finalize distinguishes it from a shutdown-time cancellation,
+	// which must keep the job's intent record for restart recovery.
+	j.mu.Lock()
+	j.userCancel = true
+	j.mu.Unlock()
 	// Queued → cancelled shortcut: if no worker has started the job,
 	// finish it here so its state is visible immediately and the worker
 	// skips it on dequeue. A running job is only finished by its worker,
@@ -325,6 +360,7 @@ func (e *Engine) finalize(j *Job, ran bool) {
 	j.mu.Lock()
 	state := j.state
 	dur := j.finished.Sub(j.started)
+	userCancel := j.userCancel
 	j.mu.Unlock()
 	if c, ok := e.byState[state]; ok {
 		c.Inc()
@@ -338,6 +374,15 @@ func (e *Engine) finalize(j *Job, ran bool) {
 	if state == StateDone && e.cfg.DataDir != "" {
 		if err := e.persist(j); err != nil && e.cfg.Logger != nil {
 			e.cfg.Logger.Printf("jobs: persisting %s: %v", j.id, err)
+		}
+	}
+	// Retire the intent record: the job reached a terminal state the
+	// operator asked for (done, failed, or explicitly cancelled). The one
+	// exception is a shutdown-time cancellation — the job was interrupted,
+	// not resolved — whose intent must survive for restart recovery.
+	if e.cfg.DataDir != "" && j.hasSpec() {
+		if state != StateCancelled || userCancel {
+			e.removeIntent(j.id)
 		}
 	}
 	if e.cfg.OnDone != nil {

@@ -82,6 +82,7 @@ type Job struct {
 	graph string // catalog name, for display
 	g     *graph.CSR
 	cfg   pipeline.Config
+	spec  []byte // re-parseable request body journaled as the intent record
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -94,7 +95,14 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// userCancel marks an explicit Cancel call (as opposed to the engine
+	// shutting down); only user-cancelled jobs retire their intent record.
+	userCancel bool
 }
+
+// hasSpec reports whether the job carries a journaled request spec (and
+// therefore may own an intent record on disk).
+func (j *Job) hasSpec() bool { return j.spec != nil }
 
 // ID returns the job's engine-assigned identifier.
 func (j *Job) ID() string { return j.id }

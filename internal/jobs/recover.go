@@ -1,0 +1,160 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Intent journaling: with DataDir set, SubmitSpec writes one
+// <jobID>.intent.json before the submission returns, and finalize removes
+// it when the job is genuinely resolved (done, failed, or cancelled by an
+// explicit Cancel call). A worker that dies — crash or shutdown — with
+// jobs queued or running therefore leaves exactly those jobs' intents
+// behind, and the next process on the same DataDir replays them through
+// PendingIntents. Together with the completed-job Record files this makes
+// the versioned persistence directory the full wire/recovery format of a
+// layout worker: records describe what finished, intents describe what
+// must run again.
+
+// Intent is the on-disk shape of a submitted-but-unresolved job
+// (DataDir/<jobID>.intent.json).
+type Intent struct {
+	// Version is the schema version the intent was written with; the same
+	// tolerance policy as Record applies (see ReadRecord).
+	Version int `json:"version"`
+	// ID is the job id the intent was journaled under.
+	ID string `json:"id"`
+	// Graph is the catalog name the job was submitted against.
+	Graph string `json:"graph"`
+	// Spec is the original validated request body, verbatim. The engine
+	// treats it as opaque: the layer that built the submission (the HTTP
+	// server) re-parses it on recovery, so the wire format and the
+	// recovery format are the same bytes.
+	Spec json.RawMessage `json:"spec"`
+	// Created is the original submission time.
+	Created time.Time `json:"created"`
+}
+
+// intentPath returns the intent file path for a job id inside dir.
+func intentPath(dir, id string) string {
+	return filepath.Join(dir, id+".intent.json")
+}
+
+// writeIntent journals j's spec under DataDir/<id>.intent.json, creating
+// the directory on first use.
+func (e *Engine) writeIntent(j *Job) error {
+	if err := os.MkdirAll(e.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(Intent{
+		Version: PersistVersion,
+		ID:      j.id,
+		Graph:   j.graph,
+		Spec:    json.RawMessage(j.spec),
+		Created: j.created,
+	})
+	if err != nil {
+		return err
+	}
+	path := intentPath(e.cfg.DataDir, j.id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// removeIntent retires a resolved job's intent record (missing files are
+// fine: the job may have been submitted without a spec, or by an engine
+// without a DataDir).
+func (e *Engine) removeIntent(id string) {
+	if err := os.Remove(intentPath(e.cfg.DataDir, id)); err != nil && !os.IsNotExist(err) {
+		if e.cfg.Logger != nil {
+			e.cfg.Logger.Printf("jobs: removing intent %s: %v", id, err)
+		}
+	}
+}
+
+// RemoveIntent deletes the intent record for id inside dir. Recovery
+// calls it after resubmitting (the resubmission journals a fresh intent
+// under its new id) or after deciding an intent is unrecoverable.
+func RemoveIntent(dir, id string) error {
+	err := os.Remove(intentPath(dir, id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// PendingIntents scans dir for journaled intents whose jobs never
+// resolved, oldest first. An intent whose completed Record exists (the
+// crash hit between persisting the result and retiring the intent) is
+// skipped and cleaned up. Corrupt or future-versioned intent files are
+// skipped — reported in errs, never fatal — so one bad record cannot
+// block a worker from recovering the rest.
+func PendingIntents(dir string) (pending []Intent, errs []error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.intent.json"))
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var in Intent
+		if err := json.Unmarshal(b, &in); err != nil {
+			errs = append(errs, fmt.Errorf("jobs: decoding %s: %w", filepath.Base(path), err))
+			continue
+		}
+		if in.Version > PersistVersion {
+			errs = append(errs, fmt.Errorf("jobs: intent %s has schema version %d, newer than supported %d",
+				filepath.Base(path), in.Version, PersistVersion))
+			continue
+		}
+		if in.ID == "" || in.Graph == "" {
+			errs = append(errs, fmt.Errorf("jobs: intent %s missing id or graph", filepath.Base(path)))
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, in.ID+".json")); err == nil {
+			// The job completed; only the intent cleanup was lost.
+			_ = os.Remove(path)
+			continue
+		}
+		pending = append(pending, in)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Created.Before(pending[j].Created) })
+	return pending, errs
+}
+
+// seqRe extracts the numeric sequence from a persisted job filename
+// (records and intents both embed the id, which ends in jNNNNNN).
+var seqRe = regexp.MustCompile(`j(\d+)(?:\.intent)?\.json$`)
+
+// maxPersistedSeq returns the highest id sequence number any record or
+// intent in dir was written with under the given prefix, so a restarted
+// engine continues numbering where its predecessor stopped.
+func maxPersistedSeq(dir, prefix string) int64 {
+	paths, err := filepath.Glob(filepath.Join(dir, prefix+"j*.json"))
+	if err != nil {
+		return 0
+	}
+	var max int64
+	for _, path := range paths {
+		m := seqRe.FindStringSubmatch(filepath.Base(path))
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.ParseInt(m[1], 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}

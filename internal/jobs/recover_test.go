@@ -1,0 +1,165 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+)
+
+// fastRun is a run hook that completes immediately with a (tiny) layout,
+// so the persistence path writes a real record.
+func fastRun(ctx context.Context, g *graph.CSR, cfg pipeline.Config) (*pipeline.Result, error) {
+	return &pipeline.Result{Layout: core.RandomLayout(g.NumV, 2, 1)}, nil
+}
+
+func intentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.intent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestIntentRetiredOnDone(t *testing.T) {
+	dir := t.TempDir()
+	e := New(testCatalog(t), Config{Workers: 1, DataDir: dir, run: fastRun})
+	defer e.Close()
+	j, err := e.SubmitSpec("grid", pipeline.Config{}, []byte(`{"graph":"grid"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateDone)
+	e.Close()
+	if left := intentFiles(t, dir); len(left) != 0 {
+		t.Fatalf("intents left after done: %v", left)
+	}
+	if _, err := os.Stat(filepath.Join(dir, j.ID()+".json")); err != nil {
+		t.Fatalf("done job has no record: %v", err)
+	}
+}
+
+func TestIntentRetiredOnUserCancel(t *testing.T) {
+	dir := t.TempDir()
+	run, release := blockingRun()
+	e := New(testCatalog(t), Config{Workers: 1, QueueDepth: 8, DataDir: dir, run: run})
+	defer e.Close()
+	defer close(release)
+	// First job occupies the worker; the second stays queued.
+	if _, err := e.SubmitSpec("grid", pipeline.Config{}, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.SubmitSpec("grid", pipeline.Config{}, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intentFiles(t, dir)) != 2 {
+		t.Fatalf("want 2 intents journaled, have %v", intentFiles(t, dir))
+	}
+	if _, err := e.Cancel(j2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j2, StateCancelled)
+	if _, err := os.Stat(filepath.Join(dir, j2.ID()+".intent.json")); !os.IsNotExist(err) {
+		t.Fatalf("user-cancelled job kept its intent (stat err=%v)", err)
+	}
+}
+
+func TestIntentSurvivesShutdownAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	run, release := blockingRun()
+	e := New(testCatalog(t), Config{Workers: 1, QueueDepth: 8, IDPrefix: "w1-", DataDir: dir, run: run})
+	running, err := e.SubmitSpec("grid", pipeline.Config{}, []byte(`{"graph":"grid","subspace":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := e.SubmitSpec("grid", pipeline.Config{}, []byte(`{"graph":"grid","subspace":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(running.ID(), "w1-j") {
+		t.Fatalf("id %q missing prefix", running.ID())
+	}
+	e.Close() // shutdown cancels both; neither was resolved
+	close(release)
+
+	pending, errs := PendingIntents(dir)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected intent errors: %v", errs)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("want 2 pending intents, have %+v", pending)
+	}
+	// Oldest first, specs verbatim.
+	if pending[0].ID != running.ID() || pending[1].ID != queued.ID() {
+		t.Fatalf("pending order %q, %q", pending[0].ID, pending[1].ID)
+	}
+	if string(pending[0].Spec) != `{"graph":"grid","subspace":8}` || pending[0].Graph != "grid" {
+		t.Fatalf("intent round-trip: %+v", pending[0])
+	}
+
+	// A new engine on the same dir continues the id sequence past both.
+	e2 := New(testCatalog(t), Config{Workers: 1, IDPrefix: "w1-", DataDir: dir, run: fastRun})
+	defer e2.Close()
+	j, err := e2.SubmitSpec("grid", pipeline.Config{}, pending[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "w1-j000003" {
+		t.Fatalf("restarted engine issued id %q, want w1-j000003", j.ID())
+	}
+	for _, in := range pending {
+		if err := RemoveIntent(dir, in.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, j, StateDone)
+	e2.Close()
+	if left := intentFiles(t, dir); len(left) != 0 {
+		t.Fatalf("intents left after recovery: %v", left)
+	}
+}
+
+func TestPendingIntentsToleratesCorruptAndFuture(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("j000001.intent.json", []byte(`{not json`))
+	future, _ := json.Marshal(Intent{Version: PersistVersion + 1, ID: "j000002", Graph: "g"})
+	write("j000002.intent.json", future)
+	write("j000003.intent.json", []byte(`{"version":1,"graph":"g"}`)) // missing id
+	ok, _ := json.Marshal(Intent{Version: PersistVersion, ID: "j000004", Graph: "g",
+		Spec: json.RawMessage(`{}`), Created: time.Now()})
+	write("j000004.intent.json", ok)
+	// j000005 completed but its intent cleanup was lost mid-crash.
+	done, _ := json.Marshal(Intent{Version: PersistVersion, ID: "j000005", Graph: "g", Spec: json.RawMessage(`{}`)})
+	write("j000005.intent.json", done)
+	write("j000005.json", []byte(`{"version":1}`))
+
+	pending, errs := PendingIntents(dir)
+	if len(pending) != 1 || pending[0].ID != "j000004" {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if len(errs) != 3 {
+		t.Fatalf("want 3 skip errors (corrupt, future, missing-id), got %v", errs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "j000005.intent.json")); !os.IsNotExist(err) {
+		t.Fatal("completed job's stale intent not cleaned up")
+	}
+	if got := maxPersistedSeq(dir, ""); got != 5 {
+		t.Fatalf("maxPersistedSeq = %d, want 5", got)
+	}
+}

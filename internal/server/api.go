@@ -89,6 +89,13 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, codeFor(err), err)
 		return
 	}
+	// Snapshot the upload so a restart rebuilds this shard of the catalog
+	// (best-effort: the upload itself already succeeded).
+	if s.cfg.DataDir != "" {
+		if err := catalog.SaveGraph(s.graphsDir(), name, g); err != nil {
+			s.logf("persisting graph %q: %v", name, err)
+		}
+	}
 	writeJSON(w, http.StatusCreated, map[string]interface{}{
 		"name":     name,
 		"vertices": g.NumV,
@@ -103,6 +110,11 @@ func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.cat.Remove(name); err != nil {
 		writeErr(w, codeFor(err), err)
 		return
+	}
+	if s.cfg.DataDir != "" {
+		if err := catalog.RemoveSaved(s.graphsDir(), name); err != nil {
+			s.logf("removing persisted graph %q: %v", name, err)
+		}
 	}
 	s.mu.Lock()
 	delete(s.views, name)
@@ -131,13 +143,13 @@ func (s *Server) lookupView(w http.ResponseWriter, r *http.Request) (*view, bool
 
 func (s *Server) handleGraphLayoutPNG(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.lookupView(w, r); ok {
-		s.servePNG(w, v)
+		s.servePNG(w, r, v)
 	}
 }
 
 func (s *Server) handleGraphLayoutSVG(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.lookupView(w, r); ok {
-		s.serveSVG(w, v)
+		s.serveSVG(w, r, v)
 	}
 }
 
@@ -149,7 +161,7 @@ func (s *Server) handleGraphZoom(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.lookupView(w, r); ok {
-		s.serveStats(w, v)
+		s.serveStats(w, r, v)
 	}
 }
 
@@ -220,7 +232,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.eng.Submit(req.Graph, submitConfig(alg, req))
+	// Journal the canonical (validated, re-marshaled) request as the
+	// job's intent spec: if this process dies before the job resolves,
+	// the restart replays exactly this submission (see recover.go).
+	spec, err := json.Marshal(req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	j, err := s.eng.SubmitSpec(req.Graph, submitConfig(alg, req), spec)
 	if err != nil {
 		writeErr(w, codeFor(err), err)
 		return

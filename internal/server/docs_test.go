@@ -1,0 +1,76 @@
+package server
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// mdTableFirstColumn extracts the backticked first-column values of the
+// markdown table found inside the named "## " section of doc. It fails
+// the test if the section or table is missing, so a reorganized doc
+// cannot silently disable the cross-check.
+func mdTableFirstColumn(t *testing.T, doc, section string) []string {
+	t.Helper()
+	header := "## " + section
+	i := strings.Index(doc, header)
+	if i < 0 {
+		t.Fatalf("section %q not found in doc", header)
+	}
+	body := doc[i+len(header):]
+	if j := strings.Index(body, "\n## "); j >= 0 {
+		body = body[:j]
+	}
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue // prose, separator row, or header row
+		}
+		cell := strings.TrimPrefix(line, "| `")
+		end := strings.Index(cell, "`")
+		if end < 0 {
+			t.Fatalf("unterminated code span in table row: %s", line)
+		}
+		out = append(out, cell[:end])
+	}
+	if len(out) == 0 {
+		t.Fatalf("no table rows found under %q", header)
+	}
+	return out
+}
+
+// TestAPIDocRouteTableMatchesMux holds API.md's "## Route table" to the
+// exact route set the server registers (RoutePatterns), in both
+// directions: a route added without documentation fails, and a
+// documented route that no longer exists fails.
+func TestAPIDocRouteTableMatchesMux(t *testing.T) {
+	raw, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("read API.md: %v", err)
+	}
+	documented := mdTableFirstColumn(t, string(raw), "Route table")
+
+	live := make(map[string]bool)
+	for _, p := range RoutePatterns() {
+		live[p] = true
+	}
+	docSet := make(map[string]bool)
+	for _, p := range documented {
+		if docSet[p] {
+			t.Errorf("API.md documents route %q twice", p)
+		}
+		docSet[p] = true
+	}
+
+	for p := range live {
+		if !docSet[p] {
+			t.Errorf("route %q is registered but missing from API.md's Route table", p)
+		}
+	}
+	for p := range docSet {
+		if !live[p] {
+			t.Errorf("API.md documents route %q which the server does not register", p)
+		}
+	}
+}

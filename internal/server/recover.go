@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+
+	"repro/internal/catalog"
+	"repro/internal/jobs"
+)
+
+// Worker restart recovery. A layout worker's durable state is its
+// DataDir: graph snapshots under graphs/ (written on upload) and the jobs
+// engine's record/intent files. recoverState replays both at startup —
+// graphs back into the catalog first, then every unresolved intent
+// resubmitted through the same validation path as a live POST /jobs — so
+// a worker that dies mid-job comes back owning the same shard with the
+// interrupted work re-queued. Mutation-refinement jobs are the deliberate
+// exception: their prior layout died with the process, so they are not
+// journaled and a PATCH-heavy client re-drives them (see OPERATIONS.md).
+
+// graphsDir is where uploaded graph snapshots live inside DataDir.
+func (s *Server) graphsDir() string {
+	return filepath.Join(s.cfg.DataDir, "graphs")
+}
+
+// logf writes a server-level (non-access) log line when logging is on.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.Printf("server: "+format, args...)
+	}
+}
+
+// recoverState rebuilds this worker's shard from DataDir; errors are
+// logged, never fatal — a corrupt snapshot must not keep the worker down.
+func (s *Server) recoverState() {
+	restored, errs := s.cat.LoadDir(s.graphsDir())
+	for _, err := range errs {
+		s.logf("restoring graphs: %v", err)
+	}
+	if len(restored) > 0 {
+		s.logf("restored %d graph(s) from %s", len(restored), s.graphsDir())
+	}
+
+	pending, ierrs := jobs.PendingIntents(s.cfg.DataDir)
+	for _, err := range ierrs {
+		s.logf("scanning intents: %v", err)
+	}
+	for _, in := range pending {
+		if s.resubmitIntent(in) {
+			// The resubmission journaled a fresh intent under its new id;
+			// retiring the old one makes replay idempotent.
+			if err := jobs.RemoveIntent(s.cfg.DataDir, in.ID); err != nil {
+				s.logf("retiring replayed intent %s: %v", in.ID, err)
+			}
+		}
+	}
+}
+
+// resubmitIntent replays one journaled submission. It reports whether the
+// old intent should be retired: true on success and on permanent
+// failures (malformed spec, vanished graph), false on transient ones
+// (queue full) so the next restart tries again.
+func (s *Server) resubmitIntent(in jobs.Intent) bool {
+	dec := json.NewDecoder(bytes.NewReader(in.Spec))
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		s.logf("intent %s has an unreadable spec, dropping: %v", in.ID, err)
+		return true
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err == nil {
+		err = validateJobRequest(req)
+	}
+	if err != nil {
+		s.logf("intent %s no longer validates, dropping: %v", in.ID, err)
+		return true
+	}
+	j, err := s.eng.SubmitSpec(req.Graph, submitConfig(alg, req), in.Spec)
+	switch {
+	case err == nil:
+		s.logf("recovered job %s as %s (graph %q)", in.ID, j.ID(), req.Graph)
+		return true
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.logf("intent %s not replayed, queue full; kept for next restart", in.ID)
+		return false
+	case errors.Is(err, catalog.ErrNotFound):
+		s.logf("intent %s references vanished graph %q, dropping", in.ID, req.Graph)
+		return true
+	default:
+		s.logf("intent %s not replayed: %v; kept for next restart", in.ID, err)
+		return false
+	}
+}

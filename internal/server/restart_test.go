@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+)
+
+// uploadGrid POSTs an n-by-n grid as an edge list under name. The
+// restart test uses grids big enough that a layout job takes real time,
+// so Close reliably interrupts work mid-flight.
+func uploadGrid(t *testing.T, url, name string, n int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, gen.Grid2D(n, n)); err != nil {
+		t.Fatal(err)
+	}
+	uploadGraph(t, url, name, buf.String())
+}
+
+// submitJob POSTs a layout job and returns the accepted job id.
+func submitJob(t *testing.T, url, graphName string, subspace int) string {
+	t.Helper()
+	body := fmt.Sprintf(`{"graph":%q,"subspace":%d,"seed":1}`, graphName, subspace)
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+// TestWorkerRestartRecoversJobs kills a worker with jobs queued and
+// running, restarts it on the same DataDir, and asserts the interrupted
+// work replays to completion: the uploaded graphs come back, the jobs
+// re-run under fresh ids, and no intent is left behind. This is the
+// single-process core of the sharded soak's zero-dropped-jobs guarantee.
+func TestWorkerRestartRecoversJobs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{WorkerID: "w1", DataDir: dir, Workers: 1, QueueDepth: 16}
+	g := gen.PlateWithHoles(20, 20)
+	s, err := NewWithConfig(g, core.Options{Subspace: 8, Seed: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	uploadGrid(t, ts.URL, "ga", 80)
+	uploadGrid(t, ts.URL, "gb", 80)
+
+	// Load the worker: with one pool worker, later jobs sit queued while
+	// an earlier one runs. Big-enough subspaces keep the runner busy long
+	// enough for Close to interrupt something mid-flight.
+	ids := []string{
+		submitJob(t, ts.URL, "ga", 256),
+		submitJob(t, ts.URL, "gb", 256),
+		submitJob(t, ts.URL, "ga", 192),
+		submitJob(t, ts.URL, "gb", 192),
+	}
+	// Kill the worker. Close cancels the running job and drains the
+	// queue as shutdown-cancelled — none of the four was resolved by a
+	// user, so every unfinished one must leave its intent behind.
+	ts.Close()
+	s.Close()
+
+	pending, errs := jobs.PendingIntents(dir)
+	if len(errs) != 0 {
+		t.Fatalf("intent scan errors: %v", errs)
+	}
+	finished := 0
+	if recs, _ := filepath.Glob(filepath.Join(dir, "w1-j*.json")); true {
+		for _, p := range recs {
+			if !strings.HasSuffix(p, ".intent.json") {
+				finished++
+			}
+		}
+	}
+	if finished+len(pending) != len(ids) {
+		t.Fatalf("records(%d) + pending intents(%d) != submitted(%d)", finished, len(pending), len(ids))
+	}
+	if len(pending) == 0 {
+		t.Fatal("shutdown interrupted nothing; test needs slower jobs")
+	}
+
+	// Restart on the same DataDir: catalog shard and interrupted jobs
+	// must come back without any client involvement.
+	s2, err := NewWithConfig(g, core.Options{Subspace: 8, Seed: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	for _, name := range []string{"ga", "gb"} {
+		if _, ok := s2.Catalog().Get(name); !ok {
+			t.Fatalf("graph %q not restored after restart", name)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		left, _ := jobs.PendingIntents(dir)
+		busy := false
+		for _, st := range s2.Jobs().List() {
+			if st.State == "queued" || st.State == "running" {
+				busy = true
+			}
+			if st.State == "failed" || st.State == "cancelled" {
+				t.Fatalf("recovered job %s ended %s: %s", st.ID, st.State, st.Error)
+			}
+		}
+		if len(left) == 0 && !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery never drained: %d intents left, busy=%v", len(left), busy)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Every submission is now a completed record: nothing was dropped.
+	recs, _ := filepath.Glob(filepath.Join(dir, "w1-j*.json"))
+	finished = 0
+	for _, p := range recs {
+		if !strings.HasSuffix(p, ".intent.json") {
+			finished++
+		}
+	}
+	if finished != len(ids) {
+		t.Fatalf("finished records = %d, want %d (one per accepted job)", finished, len(ids))
+	}
+	// The restarted engine's ids continued past the first life's.
+	if id := submitJob(t, ts2.URL, "ga", 8); id <= ids[len(ids)-1] {
+		t.Fatalf("id sequence reset: new id %s after %s", id, ids[len(ids)-1])
+	}
+}
+
+// TestRenderETagRevalidation covers the router's replication contract:
+// renders carry a generation-keyed ETag, an If-None-Match hit costs a
+// 304 with no body, and a new layout install changes the tag.
+func TestRenderETagRevalidation(t *testing.T) {
+	_, ts := newTestServerPair(t, Config{})
+	resp, err := http.Get(ts.URL + "/layout.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if etag == "" || !strings.Contains(etag, "g:default:") {
+		t.Fatalf("ETag = %q", etag)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/layout.png", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status %d, want 304", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q != %q", got, etag)
+	}
+
+	// A stale tag (different generation) must get fresh bytes, not 304.
+	req.Header.Set("If-None-Match", `"g:default:999:999:global.png"`)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("stale revalidation status %d, want 200", resp3.StatusCode)
+	}
+}
+
+// TestShardzReportsIdentity checks the router's health/identity probe.
+func TestShardzReportsIdentity(t *testing.T) {
+	_, ts := newTestServerPair(t, Config{WorkerID: "w7"})
+	resp, err := http.Get(ts.URL + "/shardz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Hdeserve-Worker"); got != "w7" {
+		t.Fatalf("worker header %q", got)
+	}
+	var body struct {
+		Worker string   `json:"worker"`
+		Graphs []string `json:"graphs"`
+		Ready  bool     `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Worker != "w7" || !body.Ready || len(body.Graphs) != 1 || body.Graphs[0] != "default" {
+		t.Fatalf("shardz = %+v", body)
+	}
+}

@@ -90,6 +90,11 @@ type Config struct {
 	// CSR is rebuilt inside a PATCH batch (0 = the dyngraph package
 	// default; negative = rebuild only on the per-PATCH refresh).
 	RebuildThreshold int
+	// WorkerID names this process in a sharded deployment: job ids get it
+	// as a prefix (so the router can route them back), responses carry it
+	// in an X-Hdeserve-Worker header, and GET /shardz reports it. Empty
+	// (single-process mode) disables all three.
+	WorkerID string
 }
 
 func (c Config) withDefaults() Config {
@@ -226,8 +231,13 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 	}
 	s.install(DefaultGraph, g, layout, rep, opt, core.Evaluate(g, layout), rep.Breakdown.Total)
 
+	idPrefix := ""
+	if cfg.WorkerID != "" {
+		idPrefix = cfg.WorkerID + "-"
+	}
 	s.eng = jobs.New(s.cat, jobs.Config{
 		Workers:    cfg.Workers,
+		IDPrefix:   idPrefix,
 		QueueDepth: cfg.QueueDepth,
 		ResultTTL:  cfg.JobsTTL,
 		MaxResults: cfg.MaxResults,
@@ -236,6 +246,9 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 		Logger:     cfg.AccessLog,
 		OnDone:     s.onJobDone,
 	})
+	if cfg.DataDir != "" {
+		s.recoverState()
+	}
 	s.ready.Store(true)
 	return s, nil
 }
@@ -361,7 +374,7 @@ func (s *Server) Jobs() *jobs.Engine { return s.eng }
 // cardinality.
 var routes = map[string]bool{
 	"/": true, "/layout.png": true, "/layout.svg": true, "/zoom.png": true,
-	"/stats": true, "/healthz": true, "/metrics": true,
+	"/stats": true, "/healthz": true, "/shardz": true, "/metrics": true,
 	"/graphs": true, "/jobs": true,
 }
 
@@ -380,32 +393,58 @@ func routeOf(r *http.Request) string {
 	return "other"
 }
 
+// apiRoutes is the authoritative mux registration table: every pattern
+// the server handles, in the order API.md documents them. Handler builds
+// the mux from it, and the docs cross-check test holds API.md to exactly
+// this list — a route added here without documentation (or vice versa)
+// fails CI.
+var apiRoutes = []struct {
+	pattern string
+	fn      func(*Server, http.ResponseWriter, *http.Request)
+}{
+	{"/", (*Server).handleIndex},
+	{"/layout.png", (*Server).handleLayout},
+	{"/layout.svg", (*Server).handleLayoutSVG},
+	{"/zoom.png", (*Server).handleZoom},
+	{"/stats", (*Server).handleStats},
+	{"/healthz", (*Server).handleHealthz},
+	{"GET /shardz", (*Server).handleShardz},
+	{"GET /graphs", (*Server).handleGraphsList},
+	{"POST /graphs", (*Server).handleGraphUpload},
+	{"DELETE /graphs/{name}", (*Server).handleGraphDelete},
+	{"GET /graphs/{name}/layout.png", (*Server).handleGraphLayoutPNG},
+	{"GET /graphs/{name}/layout.svg", (*Server).handleGraphLayoutSVG},
+	{"GET /graphs/{name}/zoom.png", (*Server).handleGraphZoom},
+	{"GET /graphs/{name}/stats", (*Server).handleGraphStats},
+	{"PATCH /graphs/{name}", (*Server).handleGraphMutate},
+	{"GET /graphs/{name}/stream", (*Server).handleGraphStream},
+	{"POST /jobs", (*Server).handleJobSubmit},
+	{"GET /jobs", (*Server).handleJobsList},
+	{"GET /jobs/{id}", (*Server).handleJobGet},
+	{"DELETE /jobs/{id}", (*Server).handleJobCancel},
+}
+
+// RoutePatterns returns every mux pattern the server registers (the
+// apiRoutes table plus /metrics, which mounts the registry's own
+// handler). The docs cross-check test and the router reuse it.
+func RoutePatterns() []string {
+	out := make([]string, 0, len(apiRoutes)+1)
+	for _, rt := range apiRoutes {
+		out = append(out, rt.pattern)
+	}
+	return append(out, "/metrics")
+}
+
 // Handler returns the instrumented HTTP mux: the single-graph viewer
 // endpoints (operating on the "default" graph), the catalog/jobs REST
-// API, /healthz, /metrics, and (when enabled) /debug/pprof/.
+// API, /healthz, /shardz, /metrics, and (when enabled) /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/layout.png", s.handleLayout)
-	mux.HandleFunc("/layout.svg", s.handleLayoutSVG)
-	mux.HandleFunc("/zoom.png", s.handleZoom)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	for _, rt := range apiRoutes {
+		fn := rt.fn
+		mux.HandleFunc(rt.pattern, func(w http.ResponseWriter, r *http.Request) { fn(s, w, r) })
+	}
 	mux.Handle("/metrics", s.reg.Handler())
-
-	mux.HandleFunc("GET /graphs", s.handleGraphsList)
-	mux.HandleFunc("POST /graphs", s.handleGraphUpload)
-	mux.HandleFunc("DELETE /graphs/{name}", s.handleGraphDelete)
-	mux.HandleFunc("GET /graphs/{name}/layout.png", s.handleGraphLayoutPNG)
-	mux.HandleFunc("GET /graphs/{name}/layout.svg", s.handleGraphLayoutSVG)
-	mux.HandleFunc("GET /graphs/{name}/zoom.png", s.handleGraphZoom)
-	mux.HandleFunc("GET /graphs/{name}/stats", s.handleGraphStats)
-	mux.HandleFunc("PATCH /graphs/{name}", s.handleGraphMutate)
-	mux.HandleFunc("GET /graphs/{name}/stream", s.handleGraphStream)
-	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /jobs", s.handleJobsList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -414,7 +453,33 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return obs.Middleware(s.reg, s.cfg.AccessLog, routeOf, mux)
+	var h http.Handler = mux
+	if s.cfg.WorkerID != "" {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Hdeserve-Worker", s.cfg.WorkerID)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	return obs.Middleware(s.reg, s.cfg.AccessLog, routeOf, h)
+}
+
+// handleShardz reports this process's slice of the sharded deployment:
+// its worker id, the graphs resident in its catalog, and readiness. The
+// router polls it as the combined health + identity probe; operators can
+// hit it directly for a shard inventory.
+func (s *Server) handleShardz(w http.ResponseWriter, r *http.Request) {
+	infos := s.cat.List()
+	names := make([]string, len(infos))
+	for i, in := range infos {
+		names[i] = in.Name
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"worker":       s.cfg.WorkerID,
+		"graphs":       names,
+		"catalogBytes": s.cat.Bytes(),
+		"ready":        s.ready.Load(),
+	})
 }
 
 var page = template.Must(template.New("index").Parse(`<!doctype html>
@@ -461,11 +526,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
-	s.servePNG(w, s.defaultView())
+	s.servePNG(w, r, s.defaultView())
 }
 
 func (s *Server) handleLayoutSVG(w http.ResponseWriter, r *http.Request) {
-	s.serveSVG(w, s.defaultView())
+	s.serveSVG(w, r, s.defaultView())
 }
 
 func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
@@ -473,24 +538,53 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.serveStats(w, s.defaultView())
+	s.serveStats(w, r, s.defaultView())
+}
+
+// writeRevalidated serves body with an ETag derived from the render-cache
+// key — which already encodes graph name, view generation, and catalog
+// generation — and honors If-None-Match. A fronting router replicates
+// hot tiles into its own LRU and revalidates each hit with a conditional
+// GET: an unchanged generation costs a 304 instead of a re-download, a
+// mutation or fresh layout changes the key and the 200 carries new bytes.
+func writeRevalidated(w http.ResponseWriter, r *http.Request, key, ctype string, body []byte) {
+	etag := `"` + key + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", ctype)
+	if matchesETag(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// matchesETag reports whether the If-None-Match header value (a possibly
+// comma-separated list, possibly "*") matches etag.
+func matchesETag(header, etag string) bool {
+	for _, tok := range strings.Split(header, ",") {
+		if tok = strings.TrimSpace(tok); tok == etag || tok == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 // servePNG renders (or serves the cached) global PNG of a view.
-func (s *Server) servePNG(w http.ResponseWriter, v *view) {
-	png, err := s.renderCached(s.cacheKey(v, "global.png"), func() ([]byte, error) {
+func (s *Server) servePNG(w http.ResponseWriter, r *http.Request, v *view) {
+	key := s.cacheKey(v, "global.png")
+	png, err := s.renderCached(key, func() ([]byte, error) {
 		return encodePNG(v.g, v.layout)
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "image/png")
-	_, _ = w.Write(png)
+	writeRevalidated(w, r, key, "image/png", png)
 }
 
-func (s *Server) serveSVG(w http.ResponseWriter, v *view) {
-	svg, err := s.renderCached(s.cacheKey(v, "global.svg"), func() ([]byte, error) {
+func (s *Server) serveSVG(w http.ResponseWriter, r *http.Request, v *view) {
+	key := s.cacheKey(v, "global.svg")
+	svg, err := s.renderCached(key, func() ([]byte, error) {
 		var buf bytes.Buffer
 		if err := render.DrawSVG(&buf, v.g, v.layout, render.Options{Size: 700}); err != nil {
 			return nil, err
@@ -501,8 +595,7 @@ func (s *Server) serveSVG(w http.ResponseWriter, v *view) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	_, _ = w.Write(svg)
+	writeRevalidated(w, r, key, "image/svg+xml", svg)
 }
 
 func (s *Server) serveZoom(w http.ResponseWriter, r *http.Request, v *view) {
@@ -524,13 +617,11 @@ func (s *Server) serveZoom(w http.ResponseWriter, r *http.Request, v *view) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "image/png")
-	_, _ = w.Write(png)
+	writeRevalidated(w, r, key, "image/png", png)
 }
 
-func (s *Server) serveStats(w http.ResponseWriter, v *view) {
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(v.stats)
+func (s *Server) serveStats(w http.ResponseWriter, r *http.Request, v *view) {
+	writeRevalidated(w, r, s.cacheKey(v, "stats"), "application/json", v.stats)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

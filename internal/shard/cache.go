@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// tile is one cached render (or stats body) as served by a worker: the
+// payload plus the headers the router needs to revalidate and re-serve
+// it. The ETag is the worker's generation-keyed cache key, so the
+// router never has to understand generations — a conditional GET
+// answering 304 proves the bytes are still current.
+type tile struct {
+	etag  string
+	ctype string
+	body  []byte
+}
+
+// weight is the tile's charge against the cache byte budget.
+func (t *tile) weight() int64 {
+	return int64(len(t.body) + len(t.etag) + len(t.ctype))
+}
+
+// tileLRU is the router's byte-budget LRU of hot tiles, the sharded
+// sibling of the worker's render cache (internal/server cache.go): a
+// crawler walking the zoom key space must evict old tiles, not OOM the
+// router. maxBytes <= 0 disables the bound. Tiles are immutable after
+// Put.
+type tileLRU struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+}
+
+// tileEntry is the list payload: key plus the cached tile.
+type tileEntry struct {
+	key string
+	t   *tile
+}
+
+// newTileLRU returns a cache with the given byte budget; the counters
+// must be non-nil.
+func newTileLRU(maxBytes int64, hits, misses, evictions *obs.Counter) *tileLRU {
+	return &tileLRU{
+		max:       maxBytes,
+		ll:        list.New(),
+		items:     map[string]*list.Element{},
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
+	}
+}
+
+// Get returns the cached tile for key and marks it most-recently-used.
+func (c *tileLRU) Get(key string) (*tile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits.Inc()
+	return e.Value.(*tileEntry).t, true
+}
+
+// Put inserts or replaces key and evicts LRU entries until the cache
+// fits the budget. A tile larger than the whole budget is not cached.
+func (c *tileLRU) Put(key string, t *tile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && t.weight() > c.max {
+		if e, ok := c.items[key]; ok {
+			c.remove(e)
+		}
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*tileEntry)
+		c.size += t.weight() - ent.t.weight()
+		ent.t = t
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&tileEntry{key: key, t: t})
+		c.size += t.weight()
+	}
+	for c.max > 0 && c.size > c.max {
+		back := c.ll.Back()
+		if back == nil || back.Value.(*tileEntry).key == key {
+			break // never evict the entry just inserted
+		}
+		c.remove(back)
+		c.evictions.Inc()
+	}
+}
+
+// Drop removes key if present (used when a graph is deleted so stale
+// tiles cannot outlive their graph on the router).
+func (c *tileLRU) Drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.remove(e)
+	}
+}
+
+// DropPrefix removes every tile whose key starts with prefix. Graph
+// deletion uses it: all of a graph's tiles share the /graphs/{name}/
+// key prefix.
+func (c *tileLRU) DropPrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []*list.Element
+	for key, e := range c.items {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			doomed = append(doomed, e)
+		}
+	}
+	for _, e := range doomed {
+		c.remove(e)
+	}
+}
+
+// remove deletes e from the cache. Caller holds c.mu.
+func (c *tileLRU) remove(e *list.Element) {
+	ent := e.Value.(*tileEntry)
+	c.ll.Remove(e)
+	delete(c.items, ent.key)
+	c.size -= ent.t.weight()
+}
+
+// Bytes returns the cached payload size.
+func (c *tileLRU) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Len returns the number of cached tiles.
+func (c *tileLRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// fetchGroup deduplicates concurrent upstream fetches by key (the
+// router-side singleflight, mirroring internal/server flight.go): while
+// a fetch for a tile is in flight, later requests for the same tile
+// share its result instead of hitting the worker again.
+type fetchGroup struct {
+	mu sync.Mutex
+	m  map[string]*fetchCall
+}
+
+// fetchCall is one in-flight fetch and its eventual result.
+type fetchCall struct {
+	done chan struct{}
+	val  *fetched
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers; every caller gets
+// the same result. shared reports whether this caller joined an
+// existing flight.
+func (g *fetchGroup) Do(key string, fn func() (*fetched, error)) (val *fetched, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*fetchCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

@@ -1,0 +1,918 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config configures a Router. Zero values get the documented defaults.
+type Config struct {
+	// Peers are the worker base URLs (e.g. http://127.0.0.1:7101). They
+	// are the ring's node ids, so the list must be identical (order
+	// aside) on every router instance.
+	Peers []string
+	// Replication is how many distinct workers hold each graph (and how
+	// many a read may fall back across). Default 2, clamped to the fleet
+	// size.
+	Replication int
+	// VirtualNodes is the per-worker virtual node count on the ring.
+	// Default DefaultVirtualNodes.
+	VirtualNodes int
+	// HealthInterval is how often each worker's /shardz is probed.
+	// Default 2s.
+	HealthInterval time.Duration
+	// CacheBytes bounds the router's hot-tile LRU. Default 64 MiB;
+	// negative disables caching entirely.
+	CacheBytes int64
+	// MaxUploadBytes bounds a POST /graphs body the router will buffer
+	// for replication. Default 64 MiB.
+	MaxUploadBytes int64
+	// Metrics receives router metrics; a fresh registry is created when
+	// nil. It is also served on the router's /metrics.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives access log lines and router events.
+	Logger *log.Logger
+	// Client performs forwarded requests. Default: 30s total timeout.
+	// Streaming (SSE) forwards always use an untimed client regardless.
+	Client *http.Client
+}
+
+// defaultGraph is the graph name the single-graph viewer endpoints
+// (/, /layout.png, ...) resolve to, matching the worker's convention.
+const defaultGraph = "default"
+
+// workerHeader is the identity header every worker response carries;
+// the router forwards it so clients can see which shard answered.
+const workerHeader = "X-Hdeserve-Worker"
+
+// peer is one worker as the router sees it: its fixed base URL plus the
+// identity and health learned from /shardz probes.
+type peer struct {
+	url     string
+	healthy atomic.Bool
+
+	mu sync.Mutex
+	id string // worker id from the last successful probe ("" = never seen)
+}
+
+// setID records the worker id learned from a probe.
+func (p *peer) setID(id string) {
+	p.mu.Lock()
+	p.id = id
+	p.mu.Unlock()
+}
+
+// workerID returns the last-known worker id, or "" if never probed.
+func (p *peer) workerID() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.id
+}
+
+// Router is the stateless front end of a sharded hdeserve deployment.
+// It owns no graphs and runs no layouts: every request is routed by
+// consistent hash of the graph name (or by worker prefix of a job id)
+// to the owning worker, with idempotent reads retried on sibling
+// replicas and hot rendered tiles replicated into a local
+// ETag-revalidated LRU. "Stateless" is load-bearing: a router restart
+// loses only cache heat, so any number of routers can front one fleet.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	peers  map[string]*peer // by base URL
+	reg    *obs.Registry
+	cache  *tileLRU
+	flight fetchGroup
+
+	client       *http.Client
+	streamClient *http.Client
+
+	forwards    func(peerURL string) *obs.Counter
+	forwardErrs func(peerURL string) *obs.Counter
+	retries     *obs.Counter
+	forwardDur  *obs.Histogram
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRouter builds a router over cfg.Peers, probes every worker once
+// synchronously (so routing decisions are informed from the first
+// request), and starts the background health loop. Callers must Close
+// it.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("shard: router needs at least one peer")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 64 << 20
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	rt := &Router{
+		cfg:          cfg,
+		ring:         NewRing(cfg.Peers, cfg.VirtualNodes),
+		peers:        map[string]*peer{},
+		reg:          cfg.Metrics,
+		client:       cfg.Client,
+		streamClient: &http.Client{}, // SSE must outlive any request timeout
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, u := range rt.ring.Nodes() {
+		rt.peers[u] = &peer{url: u}
+	}
+	rt.cache = newTileLRU(cfg.CacheBytes,
+		rt.reg.Counter("router_cache_hits_total"),
+		rt.reg.Counter("router_cache_misses_total"),
+		rt.reg.Counter("router_cache_evictions_total"))
+	rt.reg.GaugeFunc("router_cache_bytes", func() float64 { return float64(rt.cache.Bytes()) })
+	rt.forwards = func(u string) *obs.Counter {
+		return rt.reg.Counter(fmt.Sprintf("router_forward_total{worker=%q}", u))
+	}
+	rt.forwardErrs = func(u string) *obs.Counter {
+		return rt.reg.Counter(fmt.Sprintf("router_forward_errors_total{worker=%q}", u))
+	}
+	rt.retries = rt.reg.Counter("router_read_retries_total")
+	rt.forwardDur = rt.reg.Histogram("router_forward_seconds")
+
+	rt.probeAll()
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Close stops the health loop. In-flight forwards are not interrupted.
+func (rt *Router) Close() {
+	close(rt.stop)
+	<-rt.done
+}
+
+// logf writes a router event line when logging is configured.
+func (rt *Router) logf(format string, args ...interface{}) {
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Printf("router: "+format, args...)
+	}
+}
+
+// --- health ------------------------------------------------------------
+
+// shardzBody is the worker /shardz response the router consumes.
+type shardzBody struct {
+	Worker string `json:"worker"`
+	Ready  bool   `json:"ready"`
+}
+
+// healthLoop probes every peer each HealthInterval until Close.
+func (rt *Router) healthLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every peer concurrently and waits for all.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range rt.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			rt.probe(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe marks p healthy iff its /shardz answers 200 with ready=true,
+// and records the worker id it reports (the id→URL map is how job-id
+// prefixes route).
+func (rt *Router) probe(p *peer) {
+	client := &http.Client{Timeout: rt.cfg.HealthInterval}
+	resp, err := client.Get(p.url + "/shardz")
+	healthy := false
+	if err == nil {
+		var body shardzBody
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&body) == nil {
+			healthy = body.Ready
+			if body.Worker != "" {
+				p.setID(body.Worker)
+			}
+		}
+		resp.Body.Close()
+	}
+	was := p.healthy.Swap(healthy)
+	if was != healthy {
+		rt.logf("worker %s (%s) now healthy=%v", p.workerID(), p.url, healthy)
+	}
+	v := int64(0)
+	if healthy {
+		v = 1
+	}
+	rt.reg.Gauge(fmt.Sprintf("router_worker_healthy{worker=%q}", p.url)).Set(v)
+}
+
+// replicasFor returns the replica set for a graph name, healthy peers
+// first so the common case never waits on a dead worker's timeout.
+func (rt *Router) replicasFor(name string) []*peer {
+	urls := rt.ring.Replicas(name, rt.cfg.Replication)
+	out := make([]*peer, 0, len(urls))
+	var down []*peer
+	for _, u := range urls {
+		p := rt.peers[u]
+		if p.healthy.Load() {
+			out = append(out, p)
+		} else {
+			down = append(down, p)
+		}
+	}
+	return append(out, down...)
+}
+
+// Workers returns the last-probed worker id for each peer URL (peers
+// never probed successfully map to ""). Tests and /shardz use it.
+func (rt *Router) Workers() map[string]string {
+	out := map[string]string{}
+	for u, p := range rt.peers {
+		out[u] = p.workerID()
+	}
+	return out
+}
+
+// --- forwarding core ---------------------------------------------------
+
+// retryableStatus reports whether an idempotent read may be retried on
+// a sibling replica after this upstream status. 429 is deliberately
+// absent: admission-control rejection must reach the client untouched,
+// retrying it elsewhere would defeat the worker's backpressure.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// do forwards method+pathQuery with body to a peer and returns the
+// response, recording per-worker forward metrics.
+func (rt *Router) do(client *http.Client, method string, p *peer, pathQuery string, hdr http.Header, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, p.url+pathQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	rt.forwards(p.url).Inc()
+	start := time.Now()
+	resp, err := client.Do(req)
+	rt.forwardDur.ObserveDuration(time.Since(start))
+	if err != nil {
+		rt.forwardErrs(p.url).Inc()
+	}
+	return resp, err
+}
+
+// passHeaders are the upstream response headers forwarded to clients.
+var passHeaders = []string{"Content-Type", "ETag", workerHeader}
+
+// copyResponse relays an upstream response (selected headers, status,
+// body) to the client.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for _, k := range passHeaders {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// errNoWorker is returned when every candidate replica failed.
+var errNoWorker = errors.New("shard: no worker could serve the request")
+
+// forwardRead sends an idempotent GET to the replicas in order,
+// retrying across siblings on network errors and retryable 5xx; any
+// other response — including 429 — is final and returned as-is.
+func (rt *Router) forwardRead(pathQuery string, hdr http.Header, replicas []*peer) (*http.Response, error) {
+	var lastErr error = errNoWorker
+	for i, p := range replicas {
+		if i > 0 {
+			rt.retries.Inc()
+		}
+		resp, err := rt.do(rt.client, http.MethodGet, p, pathQuery, hdr, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && i < len(replicas)-1 {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("shard: %s answered %d", p.url, resp.StatusCode)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// writeRouterErr writes the router's own JSON error envelope (same
+// shape as the worker API's).
+func writeRouterErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// --- cached reads ------------------------------------------------------
+
+// fetched is the result of one upstream read as seen by the
+// singleflight: either a cacheable 200 tile or a pass-through response.
+type fetched struct {
+	status int
+	tile   *tile
+}
+
+// serveCachedView handles the four cacheable per-graph reads
+// (layout.png, layout.svg, zoom.png, stats). Cache key is the full
+// path+query; a hit is revalidated against the owner with
+// If-None-Match, so a stale tile costs one conditional GET and a fresh
+// one costs a 304 (no body) — this is how hot tiles are "replicated"
+// into the router without the router understanding generations.
+func (rt *Router) serveCachedView(name string, w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Path
+	if r.URL.RawQuery != "" {
+		key += "?" + r.URL.RawQuery
+	}
+	f, _, err := rt.flight.Do(key, func() (*fetched, error) {
+		return rt.fetchTile(name, key)
+	})
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	if f.tile == nil { // pass-through error response already consumed
+		writeRouterErr(w, f.status, fmt.Errorf("worker answered %d for %s", f.status, key))
+		return
+	}
+	t := f.tile
+	w.Header().Set("ETag", t.etag)
+	w.Header().Set("Content-Type", t.ctype)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, t.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(t.body)
+}
+
+// etagMatches reports whether an If-None-Match header value matches
+// etag ("*" matches anything).
+func etagMatches(inm, etag string) bool {
+	for _, c := range strings.Split(inm, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchTile resolves one cacheable read against the replica set,
+// revalidating any cached copy. Non-200 finals are reported via
+// fetched.status with a nil tile (and are never cached — a 404 must
+// vanish the moment the graph is uploaded).
+func (rt *Router) fetchTile(name, key string) (*fetched, error) {
+	cached, ok := rt.cache.Get(key)
+	hdr := http.Header{}
+	if ok {
+		hdr.Set("If-None-Match", cached.etag)
+	}
+	resp, err := rt.forwardRead(key, hdr, rt.replicasFor(name))
+	if err != nil {
+		if ok {
+			// Every replica is down but we hold a copy: stale beats 502.
+			rt.logf("serving stale %s: %v", key, err)
+			return &fetched{status: http.StatusOK, tile: cached}, nil
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return &fetched{status: http.StatusOK, tile: cached}, nil
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		t := &tile{
+			etag:  resp.Header.Get("ETag"),
+			ctype: resp.Header.Get("Content-Type"),
+			body:  body,
+		}
+		if t.etag != "" && rt.cfg.CacheBytes > 0 {
+			rt.cache.Put(key, t)
+		}
+		return &fetched{status: http.StatusOK, tile: t}, nil
+	default:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return &fetched{status: resp.StatusCode}, nil
+	}
+}
+
+// --- handlers ----------------------------------------------------------
+
+// routerRoutes bounds the access-log route label, mirroring the
+// worker's routeOf.
+func routerRouteOf(r *http.Request) string {
+	switch r.URL.Path {
+	case "/", "/layout.png", "/layout.svg", "/zoom.png", "/stats",
+		"/healthz", "/shardz", "/metrics", "/graphs", "/jobs":
+		return r.URL.Path
+	}
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/graphs/"):
+		return "/graphs/"
+	case strings.HasPrefix(r.URL.Path, "/jobs/"):
+		return "/jobs/"
+	}
+	return "other"
+}
+
+// Handler returns the router's instrumented HTTP mux. It exposes the
+// same API surface as a worker (see internal/server.RoutePatterns), so
+// clients cannot tell a router from a single-process hdeserve.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		rt.forwardDefault(w, r)
+	})
+	for _, p := range []string{"/layout.png", "/layout.svg", "/zoom.png", "/stats"} {
+		mux.HandleFunc("GET "+p, func(w http.ResponseWriter, r *http.Request) {
+			rt.serveCachedView(defaultGraph, w, r)
+		})
+	}
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /shardz", rt.handleShardz)
+	mux.Handle("GET /metrics", rt.reg.Handler())
+
+	mux.HandleFunc("GET /graphs", rt.handleGraphsList)
+	mux.HandleFunc("POST /graphs", rt.handleGraphUpload)
+	mux.HandleFunc("DELETE /graphs/{name}", rt.handleGraphDelete)
+	for _, suffix := range []string{"layout.png", "layout.svg", "zoom.png", "stats"} {
+		mux.HandleFunc("GET /graphs/{name}/"+suffix, func(w http.ResponseWriter, r *http.Request) {
+			rt.serveCachedView(r.PathValue("name"), w, r)
+		})
+	}
+	mux.HandleFunc("PATCH /graphs/{name}", rt.handleGraphMutate)
+	mux.HandleFunc("GET /graphs/{name}/stream", rt.handleStream)
+
+	mux.HandleFunc("POST /jobs", rt.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", rt.handleJobsList)
+	mux.HandleFunc("GET /jobs/{id}", rt.handleJobByID)
+	mux.HandleFunc("DELETE /jobs/{id}", rt.handleJobByID)
+
+	return obs.Middleware(rt.reg, rt.cfg.Logger, routerRouteOf, mux)
+}
+
+// forwardDefault proxies the HTML viewer page to the default graph's
+// owner, uncached.
+func (rt *Router) forwardDefault(w http.ResponseWriter, r *http.Request) {
+	pathQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathQuery += "?" + r.URL.RawQuery
+	}
+	resp, err := rt.forwardRead(pathQuery, nil, rt.replicasFor(defaultGraph))
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	copyResponse(w, resp)
+}
+
+// handleHealthz answers 200 while at least one worker is healthy — the
+// router itself holds no state worth reporting on.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	for _, p := range rt.peers {
+		if p.healthy.Load() {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+	}
+	writeRouterErr(w, http.StatusServiceUnavailable, errors.New("no healthy workers"))
+}
+
+// routerShardz is the router's /shardz body: the fleet as it sees it.
+type routerShardz struct {
+	Router bool              `json:"router"`
+	Peers  []routerPeerState `json:"peers"`
+}
+
+// routerPeerState is one worker's health entry in the router's /shardz.
+type routerPeerState struct {
+	URL     string `json:"url"`
+	Worker  string `json:"worker,omitempty"`
+	Healthy bool   `json:"healthy"`
+}
+
+// handleShardz reports per-worker health and identity — the operator's
+// one-stop fleet inventory.
+func (rt *Router) handleShardz(w http.ResponseWriter, r *http.Request) {
+	out := routerShardz{Router: true}
+	for _, u := range rt.ring.Nodes() {
+		p := rt.peers[u]
+		out.Peers = append(out.Peers, routerPeerState{
+			URL: u, Worker: p.workerID(), Healthy: p.healthy.Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// --- /graphs -----------------------------------------------------------
+
+// handleGraphsList fans out to every healthy worker and merges the
+// catalogs, deduplicating replicated names. bytes is the fleet-wide
+// resident total (replicas count once per copy, since each costs real
+// memory on its worker).
+func (rt *Router) handleGraphsList(w http.ResponseWriter, r *http.Request) {
+	type listResp struct {
+		Graphs []json.RawMessage `json:"graphs"`
+		Bytes  int64             `json:"bytes"`
+	}
+	var (
+		mu        sync.Mutex
+		merged    []json.RawMessage
+		seen      = map[string]bool{}
+		bytesSum  int64
+		reachable int
+	)
+	var wg sync.WaitGroup
+	for _, p := range rt.peers {
+		if !p.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			resp, err := rt.do(rt.client, http.MethodGet, p, "/graphs", nil, nil)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var lr listResp
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&lr) != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			reachable++
+			bytesSum += lr.Bytes
+			for _, g := range lr.Graphs {
+				var meta struct {
+					Name string `json:"name"`
+				}
+				if json.Unmarshal(g, &meta) != nil || seen[meta.Name] {
+					continue
+				}
+				seen[meta.Name] = true
+				merged = append(merged, g)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if reachable == 0 {
+		writeRouterErr(w, http.StatusBadGateway, errNoWorker)
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool { return string(merged[i]) < string(merged[j]) })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"graphs": merged, "bytes": bytesSum,
+	})
+}
+
+// handleGraphUpload buffers the upload once and writes it to every
+// replica of the name, primary first. The client sees the primary's
+// response; a secondary failure is logged and counted but does not fail
+// the upload (the next health-driven re-upload path is the operator
+// re-POSTing, documented in OPERATIONS.md).
+func (rt *Router) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeRouterErr(w, http.StatusBadRequest, errors.New("missing required query parameter: name"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeRouterErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds %d bytes", rt.cfg.MaxUploadBytes))
+			return
+		}
+		writeRouterErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pathQuery := r.URL.Path + "?" + r.URL.RawQuery
+	hdr := http.Header{"Content-Type": r.Header.Values("Content-Type")}
+	replicas := rt.replicasFor(name)
+
+	resp, err := rt.do(rt.client, http.MethodPost, replicas[0], pathQuery, hdr, body)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated {
+		for _, p := range replicas[1:] {
+			if sr, err := rt.do(rt.client, http.MethodPost, p, pathQuery, hdr, body); err != nil {
+				rt.logf("replicating graph %q to %s: %v", name, p.url, err)
+			} else {
+				if sr.StatusCode != http.StatusCreated && sr.StatusCode != http.StatusConflict {
+					rt.logf("replicating graph %q to %s: status %d", name, p.url, sr.StatusCode)
+				}
+				_, _ = io.Copy(io.Discard, sr.Body)
+				sr.Body.Close()
+			}
+		}
+	}
+	copyResponse(w, resp)
+}
+
+// handleGraphDelete deletes the graph from every replica and drops its
+// tiles from the router cache. The primary's response is the client's.
+func (rt *Router) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	replicas := rt.replicasFor(name)
+	resp, err := rt.do(rt.client, http.MethodDelete, replicas[0], r.URL.Path, nil, nil)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	for _, p := range replicas[1:] {
+		if sr, err := rt.do(rt.client, http.MethodDelete, p, r.URL.Path, nil, nil); err != nil {
+			rt.logf("deleting graph %q on %s: %v", name, p.url, err)
+		} else {
+			_, _ = io.Copy(io.Discard, sr.Body)
+			sr.Body.Close()
+		}
+	}
+	rt.cache.DropPrefix("/graphs/" + name + "/")
+	copyResponse(w, resp)
+}
+
+// handleGraphMutate forwards a PATCH to the primary only: mutations are
+// not idempotent, so there is no retry and no secondary write — a
+// replica's copy goes stale until the operator re-uploads or the
+// primary's stream is re-consumed (see OPERATIONS.md).
+func (rt *Router) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxUploadBytes))
+	if err != nil {
+		writeRouterErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pathQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathQuery += "?" + r.URL.RawQuery
+	}
+	hdr := http.Header{"Content-Type": r.Header.Values("Content-Type")}
+	resp, err := rt.do(rt.client, http.MethodPatch, rt.replicasFor(name)[0], pathQuery, hdr, body)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	rt.cache.DropPrefix("/graphs/" + name + "/")
+	copyResponse(w, resp)
+}
+
+// handleStream proxies the SSE layout stream from the graph's primary,
+// flushing every chunk so deltas reach the client as they happen. The
+// proxy uses an untimed client: a stream is expected to stay open for
+// the whole editing session.
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	pathQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathQuery += "?" + r.URL.RawQuery
+	}
+	p := rt.replicasFor(name)[0]
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, p.url+pathQuery, nil)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	rt.forwards(p.url).Inc()
+	resp, err := rt.streamClient.Do(req)
+	if err != nil {
+		rt.forwardErrs(p.url).Inc()
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	for _, k := range []string{"Content-Type", "Cache-Control", "Connection", workerHeader} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// --- /jobs -------------------------------------------------------------
+
+// handleJobSubmit peeks the job body's graph name, forwards the
+// submission to the graph's primary, and — when the primary accepted —
+// re-submits best-effort to the other replicas so their copies get
+// layouts too (that is what makes replica reads useful). The client
+// sees only the primary's response; a 429 from it is backpressure and
+// passes through verbatim, never retried elsewhere.
+func (rt *Router) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeRouterErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var peek struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeRouterErr(w, http.StatusBadRequest, fmt.Errorf("malformed job request: %w", err))
+		return
+	}
+	if peek.Graph == "" {
+		writeRouterErr(w, http.StatusBadRequest, errors.New("missing required field: graph"))
+		return
+	}
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	replicas := rt.replicasFor(peek.Graph)
+	resp, err := rt.do(rt.client, http.MethodPost, replicas[0], "/jobs", hdr, body)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		for _, p := range replicas[1:] {
+			if sr, err := rt.do(rt.client, http.MethodPost, p, "/jobs", hdr, body); err != nil {
+				rt.logf("replicating job for %q to %s: %v", peek.Graph, p.url, err)
+			} else {
+				_, _ = io.Copy(io.Discard, sr.Body)
+				sr.Body.Close()
+			}
+		}
+	}
+	copyResponse(w, resp)
+}
+
+// handleJobsList fans out to every healthy worker and concatenates the
+// job lists, sorted by id. Replicated submissions appear once per
+// worker that ran them — distinct ids, distinct work.
+func (rt *Router) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	type listResp struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	var (
+		mu        sync.Mutex
+		merged    []json.RawMessage
+		reachable int
+	)
+	var wg sync.WaitGroup
+	for _, p := range rt.peers {
+		if !p.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			resp, err := rt.do(rt.client, http.MethodGet, p, "/jobs", nil, nil)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var lr listResp
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&lr) != nil {
+				return
+			}
+			mu.Lock()
+			reachable++
+			merged = append(merged, lr.Jobs...)
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if reachable == 0 {
+		writeRouterErr(w, http.StatusBadGateway, errNoWorker)
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool { return string(merged[i]) < string(merged[j]) })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{"jobs": merged})
+}
+
+// peerForJobID resolves a job id to the worker that issued it via the
+// id's worker prefix ("w1-j000042" came from worker "w1"). Nil when the
+// prefix is absent or names no known worker — then the caller fans out.
+func (rt *Router) peerForJobID(id string) *peer {
+	i := strings.IndexByte(id, '-')
+	if i <= 0 {
+		return nil
+	}
+	prefix := id[:i]
+	for _, p := range rt.peers {
+		if p.workerID() == prefix {
+			return p
+		}
+	}
+	return nil
+}
+
+// handleJobByID routes GET/DELETE /jobs/{id} by worker prefix; ids
+// without a resolvable prefix are tried on every healthy worker and the
+// first non-404 answer wins.
+func (rt *Router) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if p := rt.peerForJobID(id); p != nil {
+		resp, err := rt.do(rt.client, r.Method, p, r.URL.Path, nil, nil)
+		if err != nil {
+			writeRouterErr(w, http.StatusBadGateway, err)
+			return
+		}
+		defer resp.Body.Close()
+		copyResponse(w, resp)
+		return
+	}
+	for _, u := range rt.ring.Nodes() {
+		p := rt.peers[u]
+		if !p.healthy.Load() {
+			continue
+		}
+		resp, err := rt.do(rt.client, r.Method, p, r.URL.Path, nil, nil)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		copyResponse(w, resp)
+		return
+	}
+	writeRouterErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+}

@@ -1,0 +1,458 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// newWorker boots a real hdeserve worker with the given id and returns
+// its server and test listener.
+func newWorker(t *testing.T, id string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.NewWithConfig(gen.Grid2D(12, 12),
+		core.Options{Subspace: 8, Seed: 1},
+		server.Config{WorkerID: id, Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// newRouter builds a router over the peers with health probing done
+// once (the synchronous startup round) and a long re-probe interval so
+// tests control timing.
+func newRouter(t *testing.T, replication int, peers ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := NewRouter(Config{
+		Peers:          peers,
+		Replication:    replication,
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return rt, ts
+}
+
+// metricValue scrapes url+/metrics and returns the value of the first
+// series whose name starts with prefix (0 when absent).
+func metricValue(t *testing.T, url, prefix string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, prefix) {
+			var v float64
+			if i := strings.LastIndexByte(line, ' '); i >= 0 {
+				fmt.Sscanf(line[i+1:], "%g", &v)
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// uploadVia POSTs a small grid through the router under name.
+func uploadVia(t *testing.T, routerURL, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, gen.Grid2D(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(routerURL+"/graphs?name="+name+"&format=edges", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload %s: status %d", name, resp.StatusCode)
+	}
+}
+
+// TestRouterShardsGraphsAcrossWorkers is the tentpole's core contract:
+// uploads land on the ring owner, jobs run there (visible in the id
+// prefix), reads route back, and the merged catalog spans the fleet.
+func TestRouterShardsGraphsAcrossWorkers(t *testing.T) {
+	s1, w1 := newWorker(t, "w1")
+	s2, w2 := newWorker(t, "w2")
+	rt, rts := newRouter(t, 1, w1.URL, w2.URL)
+
+	if got := rt.Workers(); got[w1.URL] != "w1" || got[w2.URL] != "w2" {
+		t.Fatalf("probe did not learn worker ids: %v", got)
+	}
+
+	// Pick six names the ring splits across both workers (ports are
+	// random, so fixed names could all land on one side).
+	ring := NewRing([]string{w1.URL, w2.URL}, 0)
+	var names []string
+	next := 0
+	for _, owner := range []string{w1.URL, w1.URL, w1.URL, w2.URL, w2.URL, w2.URL} {
+		for ; ; next++ {
+			n := fmt.Sprintf("g%d", next)
+			if ring.Owner(n) == owner {
+				names = append(names, n)
+				next++
+				break
+			}
+		}
+	}
+	for _, n := range names {
+		uploadVia(t, rts.URL, n)
+	}
+	// Placement matches the ring: with replication 1 each graph lives on
+	// exactly its owner.
+	workerOf := map[string]*server.Server{w1.URL: s1, w2.URL: s2}
+	placed := map[string]int{}
+	for _, n := range names {
+		owner := ring.Owner(n)
+		placed[owner]++
+		if _, ok := workerOf[owner].Catalog().Get(n); !ok {
+			t.Fatalf("graph %q missing on its owner %s", n, owner)
+		}
+		for u, s := range workerOf {
+			if u == owner {
+				continue
+			}
+			if _, ok := s.Catalog().Get(n); ok {
+				t.Fatalf("graph %q leaked onto non-owner %s", n, u)
+			}
+		}
+	}
+	if placed[w1.URL] == 0 || placed[w2.URL] == 0 {
+		t.Fatalf("six graphs all hashed to one worker: %v", placed)
+	}
+
+	// The merged catalog spans both workers, deduplicating "default".
+	resp, err := http.Get(rts.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Graphs) != len(names)+1 { // six uploads + one "default"
+		t.Fatalf("merged catalog has %d entries, want %d", len(list.Graphs), len(names)+1)
+	}
+
+	// A job for g0 runs on g0's owner — the id carries its prefix — and
+	// GET /jobs/{id} routes back there.
+	body := fmt.Sprintf(`{"graph":%q,"subspace":8,"seed":1}`, names[0])
+	resp, err = http.Post(rts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantPrefix := rt.Workers()[ring.Owner(names[0])] + "-"
+	if !strings.HasPrefix(st.ID, wantPrefix) {
+		t.Fatalf("job id %q does not carry owner prefix %q", st.ID, wantPrefix)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r2, err := http.Get(rts.URL + "/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("job get status %d", r2.StatusCode)
+		}
+		if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+	}
+
+	// Reads route to the owner; the second hit revalidates the cached
+	// tile (one 304 round trip, zero body bytes moved).
+	for i := 0; i < 2; i++ {
+		r3, err := http.Get(rts.URL + "/graphs/" + names[0] + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r3.StatusCode != http.StatusOK {
+			t.Fatalf("stats status %d (read %d)", r3.StatusCode, i)
+		}
+		r3.Body.Close()
+	}
+	if hits := metricValue(t, rts.URL, "router_cache_hits_total"); hits < 1 {
+		t.Fatalf("router_cache_hits_total = %g after repeat read", hits)
+	}
+
+	// Unknown graphs pass the worker's 404 through.
+	r4, err := http.Get(rts.URL + "/graphs/nope/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown graph status %d, want 404", r4.StatusCode)
+	}
+
+	// DELETE reaches the owner and empties its catalog slot.
+	req, _ := http.NewRequest(http.MethodDelete, rts.URL+"/graphs/"+names[0], nil)
+	r5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", r5.StatusCode)
+	}
+	if _, ok := workerOf[ring.Owner(names[0])].Catalog().Get(names[0]); ok {
+		t.Fatalf("%s still on its owner after DELETE via router", names[0])
+	}
+}
+
+// fakeWorker is a scriptable worker: always ready on /shardz, with a
+// caller-supplied handler for everything else.
+func fakeWorker(t *testing.T, id string, h http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /shardz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"worker":%q,"ready":true}`, id)
+	})
+	if h != nil {
+		mux.HandleFunc("/", h)
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// nameOwnedBy finds a graph name whose ring owner is the given peer.
+func nameOwnedBy(t *testing.T, ring *Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("k%d", i)
+		if ring.Owner(name) == owner {
+			return name
+		}
+	}
+	t.Fatal("no key hashed to owner")
+	return ""
+}
+
+// TestRouterBackpressurePassThrough: a worker's 429 is the admission
+// controller speaking; the router must relay it verbatim and never
+// retry it on a sibling.
+func TestRouterBackpressurePassThrough(t *testing.T) {
+	var submitsA, submitsB int
+	wa := fakeWorker(t, "wa", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/jobs" {
+			submitsA++
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"job queue full"}`)
+		}
+	})
+	wb := fakeWorker(t, "wb", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/jobs" {
+			submitsB++
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"id":"wb-j000001","state":"queued"}`)
+		}
+	})
+	_, rts := newRouter(t, 1, wa.URL, wb.URL)
+
+	name := nameOwnedBy(t, NewRing([]string{wa.URL, wb.URL}, 0), wa.URL)
+	body := fmt.Sprintf(`{"graph":%q,"subspace":8}`, name)
+	resp, err := http.Post(rts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 passed through", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error != "job queue full" {
+		t.Fatalf("429 body not relayed verbatim: %q %v", e.Error, err)
+	}
+	if submitsA != 1 || submitsB != 0 {
+		t.Fatalf("submits A=%d B=%d; 429 must not be retried elsewhere", submitsA, submitsB)
+	}
+}
+
+// TestRouterReplicaFallbackRead: when a graph's owner is down or
+// erroring, an idempotent read lands on the next replica instead of
+// failing, and the retry is counted.
+func TestRouterReplicaFallbackRead(t *testing.T) {
+	wa := fakeWorker(t, "wa", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	wb := fakeWorker(t, "wb", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", `"g:x:1:1:stats"`)
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	_, rts := newRouter(t, 2, wa.URL, wb.URL)
+
+	name := nameOwnedBy(t, NewRing([]string{wa.URL, wb.URL}, 0), wa.URL)
+	resp, err := http.Get(rts.URL + "/graphs/" + name + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d; want 200 from the replica", resp.StatusCode)
+	}
+	if retries := metricValue(t, rts.URL, "router_read_retries_total"); retries < 1 {
+		t.Fatalf("router_read_retries_total = %g, want >= 1", retries)
+	}
+
+	// Same story when the owner is flat-out dead (connection refused).
+	wa.Close()
+	resp2, err := http.Get(rts.URL + "/graphs/" + name + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d with owner dead; want 200 from the replica", resp2.StatusCode)
+	}
+}
+
+// TestRouterSSEPassThrough: the event stream proxies through with
+// frames intact.
+func TestRouterSSEPassThrough(t *testing.T) {
+	wa := fakeWorker(t, "wa", func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/stream") {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: snapshot\ndata: {\"gen\":1}\n\n")
+		fmt.Fprint(w, "event: delta\ndata: {\"gen\":2}\n\n")
+	})
+	_, rts := newRouter(t, 1, wa.URL)
+
+	resp, err := http.Get(rts.URL + "/graphs/any/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var events []string
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: ") {
+			events = append(events, strings.TrimPrefix(sc.Text(), "event: "))
+		}
+	}
+	if len(events) != 2 || events[0] != "snapshot" || events[1] != "delta" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+// TestRouterJobIDFanout: a job id whose prefix names no known worker is
+// hunted across the fleet; the first non-404 wins.
+func TestRouterJobIDFanout(t *testing.T) {
+	wa := fakeWorker(t, "wa", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	wb := fakeWorker(t, "wb", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/jobs/old-j000007" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"old-j000007","state":"done"}`)
+	})
+	_, rts := newRouter(t, 1, wa.URL, wb.URL)
+
+	resp, err := http.Get(rts.URL + "/jobs/old-j000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fanout status %d", resp.StatusCode)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID != "old-j000007" {
+		t.Fatalf("fanout body: %v %v", st, err)
+	}
+
+	// A truly unknown id 404s with the router's own envelope.
+	resp2, err := http.Get(rts.URL + "/jobs/zz-j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status %d", resp2.StatusCode)
+	}
+}
+
+// TestRouterHealthz: up while any worker lives, 503 once none do.
+func TestRouterHealthz(t *testing.T) {
+	wa := fakeWorker(t, "wa", nil)
+	rt, rts := newRouter(t, 1, wa.URL)
+
+	resp, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d with live worker", resp.StatusCode)
+	}
+
+	wa.Close()
+	rt.probeAll()
+	resp2, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d with fleet down, want 503", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,320 @@
+package repro_bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// soakWorker is one in-process shard: a real server.Server behind a real
+// TCP listener whose address survives a kill/restart cycle, which is the
+// part httptest.Server cannot do.
+type soakWorker struct {
+	id   string
+	dir  string
+	addr string
+	srv  *server.Server
+	hs   *http.Server
+}
+
+func (w *soakWorker) url() string { return "http://" + w.addr }
+
+// start (re)creates the server on the worker's DataDir and serves it on
+// w.addr (chosen by the kernel on first start, reused on restart).
+func (w *soakWorker) start(t *testing.T) {
+	t.Helper()
+	cfg := server.Config{WorkerID: w.id, DataDir: w.dir, Workers: 1, QueueDepth: 32}
+	s, err := server.NewWithConfig(gen.PlateWithHoles(20, 20), core.Options{Subspace: 8, Seed: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laddr := w.addr
+	if laddr == "" {
+		laddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", laddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.addr = ln.Addr().String()
+	w.srv = s
+	w.hs = &http.Server{Handler: s.Handler()}
+	go w.hs.Serve(ln)
+}
+
+// kill closes the listener and the server without draining, the
+// in-process stand-in for SIGKILL + journal recovery: running and queued
+// jobs become shutdown-cancelled and leave their intents on disk.
+func (w *soakWorker) kill() {
+	w.hs.Close()
+	w.srv.Close()
+}
+
+func soakPost(t *testing.T, url, ctype, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, ctype, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestSoakShardedFleetRestart drives a router + 3-worker fleet with
+// mixed traffic (uploads, jobs, cached reads), SIGKILLs one worker with
+// jobs queued and running, restarts it on the same address and DataDir,
+// and asserts the fleet-wide zero-dropped-jobs invariant: every accepted
+// submission ends as exactly one persisted record, no intent left behind,
+// and every graph is fully servable through the router afterwards.
+func TestSoakShardedFleetRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+
+	workers := make([]*soakWorker, 3)
+	urls := make([]string, 3)
+	for i := range workers {
+		workers[i] = &soakWorker{id: fmt.Sprintf("w%d", i+1), dir: t.TempDir()}
+		workers[i].start(t)
+		urls[i] = workers[i].url()
+	}
+	defer func() {
+		for _, w := range workers {
+			w.kill()
+		}
+	}()
+
+	rt, err := shard.NewRouter(shard.Config{
+		Peers:          urls,
+		Replication:    1, // exactly one copy per graph → crisp record accounting
+		HealthInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// Pick the victim and a graph it owns (the ring hashes names, so scan
+	// for one), plus a slow grid for it: with one pool worker per shard,
+	// big-subspace jobs on a 80×80 grid keep the victim busy long enough
+	// for kill() to interrupt work mid-flight.
+	ring := shard.NewRing(urls, 0)
+	victim := workers[1]
+	victimGraph := ""
+	for i := 0; victimGraph == ""; i++ {
+		if name := fmt.Sprintf("s%d", i); ring.Owner(name) == victim.url() {
+			victimGraph = name
+		}
+	}
+	quickNames := []string{"q0", "q1", "q2", "q3"}
+
+	upload := func(name string, n int) {
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, gen.Grid2D(n, n)); err != nil {
+			t.Fatal(err)
+		}
+		code, body := soakPost(t, ts.URL+"/graphs?name="+name, "text/plain", buf.String())
+		if code != http.StatusCreated {
+			t.Fatalf("upload %s: status %d: %s", name, code, body)
+		}
+	}
+	upload(victimGraph, 100)
+	for _, name := range quickNames {
+		upload(name, 25)
+	}
+
+	accepted := 0
+	submit := func(name string, subspace int) {
+		body := fmt.Sprintf(`{"graph":%q,"subspace":%d,"seed":1}`, name, subspace)
+		code, resp := soakPost(t, ts.URL+"/jobs", "application/json", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d: %s", name, code, resp)
+		}
+		accepted++
+	}
+
+	// Spread quick jobs across the fleet first, with read traffic
+	// interleaved while they churn: catalog listings and cached stats
+	// reads through the router must never error.
+	for round := 0; round < 2; round++ {
+		for _, name := range quickNames {
+			submit(name, 16)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/graphs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("catalog read: status %d", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Now pin the victim's single pool worker down with big-subspace
+	// jobs and kill it mid-run: the first job is running and the rest
+	// queued, so intents must survive for all of them.
+	for i := 0; i < 4; i++ {
+		submit(victimGraph, 256-16*i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	victim.kill()
+	pending, errs := jobs.PendingIntents(victim.dir)
+	if len(errs) != 0 {
+		t.Fatalf("intent scan: %v", errs)
+	}
+	if len(pending) == 0 {
+		t.Fatal("kill interrupted nothing; test needs slower victim jobs")
+	}
+	survivorGraph := ""
+	for _, name := range quickNames {
+		if ring.Owner(name) != victim.url() {
+			survivorGraph = name
+			break
+		}
+	}
+	if survivorGraph != "" {
+		resp, err := http.Get(ts.URL + "/graphs/" + survivorGraph + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+			t.Fatalf("read with one worker down: status %d", resp.StatusCode)
+		}
+	}
+
+	// Restart on the same address and DataDir: the shard recovers its
+	// catalog and replays every interrupted job under fresh ids.
+	victim.start(t)
+
+	// Drain: every worker idle, no intent anywhere, no job failed.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		busy := false
+		for _, w := range workers {
+			resp, err := http.Get(w.url() + "/jobs")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var list struct{ Jobs []jobs.Status }
+			if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			for _, st := range list.Jobs {
+				if st.State == "queued" || st.State == "running" {
+					busy = true
+				}
+				if st.State == "failed" || st.State == "cancelled" {
+					t.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+				}
+			}
+			if left, _ := jobs.PendingIntents(w.dir); len(left) != 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never drained after restart")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Zero dropped, zero duplicated: records across the fleet's data
+	// dirs match the accepted submissions exactly.
+	records := 0
+	for _, w := range workers {
+		paths, _ := filepath.Glob(filepath.Join(w.dir, "*.json"))
+		for _, p := range paths {
+			if !strings.HasSuffix(p, ".intent.json") {
+				records++
+			}
+		}
+	}
+	if records != accepted {
+		t.Fatalf("persisted records = %d, want %d (one per accepted job)", records, accepted)
+	}
+
+	// The router must re-admit the restarted worker and serve every
+	// graph's stats (each had at least one completed layout job).
+	healthDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/shardz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Peers []struct {
+				Healthy bool `json:"healthy"`
+			} `json:"peers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		healthy := 0
+		for _, p := range view.Peers {
+			if p.Healthy {
+				healthy++
+			}
+		}
+		if healthy == len(workers) {
+			break
+		}
+		if time.Now().After(healthDeadline) {
+			t.Fatalf("router re-admitted only %d/%d workers", healthy, len(workers))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, name := range append([]string{victimGraph}, quickNames...) {
+		resp, err := http.Get(ts.URL + "/graphs/" + name + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusConflict {
+			// A layout installed on the victim before the kill died with
+			// the process (completed jobs don't replay — only unresolved
+			// intents do). The graph itself recovered; a fresh job must
+			// bring the view back.
+			submit(name, 16)
+			waitDeadline := time.Now().Add(30 * time.Second)
+			for resp.StatusCode == http.StatusConflict {
+				if time.Now().After(waitDeadline) {
+					t.Fatalf("stats %s never recovered after fresh job", name)
+				}
+				time.Sleep(50 * time.Millisecond)
+				if resp, err = http.Get(ts.URL + "/graphs/" + name + "/stats"); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats %s after recovery: status %d", name, resp.StatusCode)
+		}
+	}
+}

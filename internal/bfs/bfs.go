@@ -27,6 +27,16 @@ type Stats struct {
 	ScannedEdges  int64 // adjacency entries actually examined
 }
 
+// Add accumulates o into s — the aggregation the per-layout observability
+// rollups (core.Report.BFSTotals, the server's direction counters) run
+// over every traversal of a phase.
+func (s *Stats) Add(o Stats) {
+	s.Levels += o.Levels
+	s.TopDownSteps += o.TopDownSteps
+	s.BottomUpSteps += o.BottomUpSteps
+	s.ScannedEdges += o.ScannedEdges
+}
+
 // Options configures a traversal.
 type Options struct {
 	Alpha int64 // top-down → bottom-up switch threshold (0 = DefaultAlpha)

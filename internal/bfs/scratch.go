@@ -17,6 +17,12 @@ type Scratch struct {
 	msSeen  []uint64
 	msFront []uint64
 	msNext  []uint64
+	// Per-block frontier summaries for the tiled direction-optimizing
+	// engine: one bit per msBlockVerts-vertex block (msFrontSum marks
+	// blocks holding frontier bits, msNextSum next-frontier bits), so
+	// sparse levels skip whole blocks instead of striding all n.
+	msFrontSum []uint64
+	msNextSum  []uint64
 }
 
 // NewScratch returns traversal scratch sized for n-vertex graphs and the
@@ -45,7 +51,8 @@ func (sc *Scratch) ensure(n, workers int) {
 	}
 }
 
-// ensureMS grows the multi-source mask buffers to cover n vertices.
+// ensureMS grows the multi-source mask buffers (and their block
+// summaries) to cover n vertices.
 func (sc *Scratch) ensureMS(n int) {
 	if cap(sc.msSeen) < n {
 		sc.msSeen = make([]uint64, n)
@@ -53,4 +60,10 @@ func (sc *Scratch) ensureMS(n int) {
 		sc.msNext = make([]uint64, n)
 	}
 	sc.msSeen, sc.msFront, sc.msNext = sc.msSeen[:n], sc.msFront[:n], sc.msNext[:n]
+	sw := (msBlocks(n) + 63) / 64
+	if cap(sc.msFrontSum) < sw {
+		sc.msFrontSum = make([]uint64, sw)
+		sc.msNextSum = make([]uint64, sw)
+	}
+	sc.msFrontSum, sc.msNextSum = sc.msFrontSum[:sw], sc.msNextSum[:sw]
 }

@@ -31,7 +31,8 @@ type Report struct {
 	// non-degenerate generalized eigenvalues µ of Lu = µDu).
 	Eigenvalues []float64
 	// BFSStats records per-traversal direction choices and scanned-edge
-	// counts, one entry per pivot.
+	// counts: one entry per pivot (k-centers, coupled) or per 64-source
+	// multi-source batch (random-msbfs).
 	BFSStats []bfs.Stats
 	// PhaseAllocs holds per-phase heap-allocation deltas; nil unless
 	// Options.TrackAllocs was set.
@@ -44,6 +45,18 @@ type Report struct {
 	Warm bool
 	// RefineSweeps counts the SGD sweeps of a warm run (0 for cold runs).
 	RefineSweeps int
+}
+
+// BFSTotals aggregates BFSStats across every traversal of the run: the
+// top-down vs bottom-up step split and total scanned edges that the
+// server exports as Prometheus counters and the scaling sweep records
+// per point.
+func (r *Report) BFSTotals() bfs.Stats {
+	var t bfs.Stats
+	for i := range r.BFSStats {
+		t.Add(r.BFSStats[i])
+	}
+	return t
 }
 
 // ParHDE computes a p-dimensional layout of the connected graph g with the

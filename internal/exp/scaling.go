@@ -41,6 +41,13 @@ type ScalingEntry struct {
 	// cache-resident packed kernels at this worker count.
 	UnpackedSeconds float64 `json:"unpackedSeconds"`
 	PackedSpeedup   float64 `json:"packedSpeedup"`
+	// BFS direction split of the fastest run: how many levels the
+	// traversal phase ran top-down vs bottom-up, and the adjacency
+	// entries it actually examined — the per-point record of the
+	// direction-optimizing engine's choices.
+	BFSTopDownSteps  int   `json:"bfsTopDownSteps"`
+	BFSBottomUpSteps int   `json:"bfsBottomUpSteps"`
+	BFSScannedEdges  int64 `json:"bfsScannedEdges"`
 }
 
 // ScalingGraph is one graph's sweep.
@@ -190,11 +197,15 @@ func scalePoint(ng NamedGraph, opt core.Options, reps int) (ScalingEntry, error)
 	for _, p := range best.Breakdown.Phases() {
 		phases[p.Name] = p.D.Seconds()
 	}
+	bt := best.BFSTotals()
 	return ScalingEntry{
-		Workers:  best.Workers,
-		Seconds:  best.Breakdown.Total.Seconds(),
-		Phases:   phases,
-		Checksum: sum,
+		Workers:          best.Workers,
+		Seconds:          best.Breakdown.Total.Seconds(),
+		Phases:           phases,
+		Checksum:         sum,
+		BFSTopDownSteps:  bt.TopDownSteps,
+		BFSBottomUpSteps: bt.BottomUpSteps,
+		BFSScannedEdges:  bt.ScannedEdges,
 	}, nil
 }
 

@@ -20,6 +20,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/linalg"
 	"repro/internal/ortho"
 	"repro/internal/parallel"
@@ -174,6 +177,51 @@ func TestKernelBudgetGate(t *testing.T) {
 			_ = parallelArgmax(dmin)
 		})
 		check("fused_widen_vs_unfused", float64(tUnfused)/float64(tFused))
+	}
+
+	// Direction-optimizing tiled MSBFS vs the retained top-down path on
+	// the paper's headline kron shape, one full 64-source batch. Bottom-up
+	// must win on a skewed low-diameter graph even on one core — the γ < 1
+	// work reduction, not a parallel effect.
+	{
+		g, sources, rows, sc := msbfsFixture(18, 16)
+		bud := parallel.FixedBudget(1)
+		tOpt := minTime(3, func() { bfs.MSBFSOpts(bud, g, sources, rows, sc, bfs.MSOptions{}) })
+		tTD := minTime(3, func() { bfs.MSBFSOpts(bud, g, sources, rows, sc, bfs.MSOptions{ForceTopDown: true}) })
+		check("msbfs_diropt_vs_topdown", float64(tTD)/float64(tOpt))
+	}
+}
+
+// msbfsFixture builds the MSBFS gate/bench inputs: a kron graph, one full
+// 64-source batch, its distance rows, and a warm traversal scratch.
+func msbfsFixture(scale, factor int) (*graph.CSR, []int32, [][]int32, *bfs.Scratch) {
+	g := gen.Kron(scale, factor, 102)
+	sources := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32((i * 997) % g.NumV)
+	}
+	rows := make([][]int32, 64)
+	arena := make([]int32, 64*g.NumV)
+	for i := range rows {
+		rows[i] = arena[i*g.NumV : (i+1)*g.NumV]
+	}
+	return g, sources, rows, bfs.NewScratch(g.NumV, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkMSBFSDirOpt / BenchmarkMSBFSTopDown are the raw
+// microbenchmarks behind the msbfs_diropt_vs_topdown gate ratio; run with
+// go test -tags perf -bench MSBFS ./internal/kernelbench/.
+func BenchmarkMSBFSDirOpt(b *testing.B) { benchmarkMSBFS(b, bfs.MSOptions{}) }
+
+func BenchmarkMSBFSTopDown(b *testing.B) { benchmarkMSBFS(b, bfs.MSOptions{ForceTopDown: true}) }
+
+func benchmarkMSBFS(b *testing.B, opt bfs.MSOptions) {
+	g, sources, rows, sc := msbfsFixture(18, 16)
+	bud := parallel.FixedBudget(runtime.GOMAXPROCS(0))
+	b.SetBytes(int64(len(g.Adj) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs.MSBFSOpts(bud, g, sources, rows, sc, opt)
 	}
 }
 

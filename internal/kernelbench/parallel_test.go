@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/bfs"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/linalg"
@@ -112,6 +113,16 @@ func TestParallelEfficiencyGate(t *testing.T) {
 		reset()
 		tp := minTime(reps, func() { linalg.WidenMinArgmaxBudget(par, dst, dmin, src, idxs, vals) })
 		check("fused_widen_parallel", float64(t1)/float64(tp))
+	}
+
+	// Tiled direction-optimizing MSBFS: the blocked bitmap passes must
+	// scale when workers own disjoint vertex-range blocks (bottom-up
+	// writes are CAS-free precisely because of that ownership).
+	{
+		g, sources, rows, sc := msbfsFixture(18, 16)
+		t1 := minTime(reps, func() { bfs.MSBFSOpts(serial, g, sources, rows, sc, bfs.MSOptions{}) })
+		tp := minTime(reps, func() { bfs.MSBFSOpts(par, g, sources, rows, sc, bfs.MSOptions{}) })
+		check("msbfs_tiled", float64(t1)/float64(tp))
 	}
 
 	// Whole-layout scaling on the paper's headline graph shape: the

@@ -48,8 +48,11 @@ func (s Strategy) String() string {
 // pure traversal versus "other" overhead (source selection, the min-update
 // reduction, and the int→float widening of B's columns).
 type PhaseStats struct {
-	Sources      []int32
-	Traversal    []bfs.Stats // per-BFS traversal statistics (KCenters only)
+	Sources []int32
+	// Traversal holds per-traversal statistics: one entry per BFS under
+	// KCenters, one per 64-source batch under RandomMS (direction-step
+	// counts included either way; plain Random records none).
+	Traversal    []bfs.Stats
 	ScannedEdges int64
 }
 
@@ -160,7 +163,7 @@ func PhaseBudget(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32
 	case Random:
 		return randomPhase(bud, g, b, start, onTraversal, onOther)
 	case RandomMS:
-		return randomMSPhase(bud, g, b, start, sc, onTraversal, onOther)
+		return randomMSPhase(bud, g, b, start, opt, sc, onTraversal, onOther)
 	default:
 		return kCentersPhase(bud, g, b, start, opt, sc, onTraversal, onOther)
 	}
@@ -278,7 +281,7 @@ func randomPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32
 // scans across all searches in a batch. With a scratch the batch distance
 // rows, the pivot permutation, and the traversal masks all come from
 // pooled buffers, so the steady-state phase performs no O(n) allocations.
-func randomMSPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
+func randomMSPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int32, opt bfs.Options, sc *Scratch, onTraversal, onOther func(f func())) PhaseStats {
 	n := g.NumV
 	s := b.Cols
 	if sc == nil {
@@ -288,7 +291,11 @@ func randomMSPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int
 	if sc.BFS == nil {
 		sc.BFS = bfs.NewScratch(n, bud.Workers())
 	}
-	st := PhaseStats{Sources: make([]int32, s)}
+	msOpt := opt.MS()
+	st := PhaseStats{
+		Sources:   make([]int32, s),
+		Traversal: make([]bfs.Stats, 0, (s+63)/64),
+	}
 	onOther(func() {
 		perm := graph.RandomPermutationInto(sc.perm, uint64(start)*0x9e3779b97f4a7c15+1)
 		st.Sources[0] = start
@@ -307,7 +314,8 @@ func randomMSPhase(bud parallel.Budget, g *graph.CSR, b *linalg.Dense, start int
 	// captured variables, so the steady-state loop allocates nothing.
 	var batch, hi int
 	traverse := func() {
-		ms := bfs.MSBFSBudget(bud, g, st.Sources[batch:hi], sc.msRows[:hi-batch], sc.BFS)
+		ms := bfs.MSBFSOpts(bud, g, st.Sources[batch:hi], sc.msRows[:hi-batch], sc.BFS, msOpt)
+		st.Traversal = append(st.Traversal, ms)
 		st.ScannedEdges += ms.ScannedEdges
 	}
 	widen := func() {

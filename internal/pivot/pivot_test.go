@@ -181,6 +181,50 @@ func TestRandomMSPhaseDistancesCorrect(t *testing.T) {
 	if RandomMS.String() != "random-msbfs" {
 		t.Fatal("strategy name")
 	}
+	// The phase records one Stats entry per 64-source batch (70 pivots →
+	// 2 batches) for the observability rollups.
+	if len(ps.Traversal) != 2 {
+		t.Fatalf("traversal stats entries = %d, want 2", len(ps.Traversal))
+	}
+	var steps int
+	for _, st := range ps.Traversal {
+		steps += st.TopDownSteps + st.BottomUpSteps
+		if st.ScannedEdges <= 0 {
+			t.Fatalf("batch recorded no scanned edges: %+v", st)
+		}
+	}
+	if steps <= 0 {
+		t.Fatal("no direction steps recorded")
+	}
+}
+
+func TestRandomMSForceTopDownMatchesDefault(t *testing.T) {
+	// bfs.Options flow through to the multi-source engine: ForceTopDown
+	// must keep columns bitwise identical while running zero bottom-up
+	// steps — the per-phase ablation switch.
+	g := gen.Kron(9, 8, 6)
+	s := 40
+	b1 := linalg.NewDense(g.NumV, s)
+	b2 := linalg.NewDense(g.NumV, s)
+	p1 := Phase(g, b1, 5, RandomMS, bfs.Options{}, nil, nil)
+	p2 := Phase(g, b2, 5, RandomMS, bfs.Options{ForceTopDown: true}, nil, nil)
+	for i := range b1.Data {
+		if b1.Data[i] != b2.Data[i] {
+			t.Fatal("ForceTopDown changed the distance matrix")
+		}
+	}
+	for _, st := range p2.Traversal {
+		if st.BottomUpSteps != 0 {
+			t.Fatalf("ForceTopDown phase ran bottom-up: %+v", st)
+		}
+	}
+	var bu int
+	for _, st := range p1.Traversal {
+		bu += st.BottomUpSteps
+	}
+	if bu == 0 {
+		t.Fatal("default phase never switched bottom-up on kron")
+	}
 }
 
 func TestRandomMSMatchesRandomPhase(t *testing.T) {

@@ -168,6 +168,9 @@ type Server struct {
 	warmLayouts      *obs.Counter   // installs that took the warm-start path
 	coldLayouts      *obs.Counter   // installs that ran the full pipeline
 	refineSweeps     *obs.Counter   // cumulative warm-refinement sweeps
+	bfsTopDown       *obs.Counter   // BFS-phase levels run top-down
+	bfsBottomUp      *obs.Counter   // BFS-phase levels run bottom-up
+	bfsScannedEdges  *obs.Counter   // adjacency entries BFS actually examined
 	streamSubs       *obs.Gauge     // currently connected SSE subscribers
 	broadcastLatency *obs.Histogram // install→fan-out delta latency
 
@@ -213,6 +216,9 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 		warmLayouts:      reg.Counter(`layouts_installed_total{mode="warm"}`),
 		coldLayouts:      reg.Counter(`layouts_installed_total{mode="cold"}`),
 		refineSweeps:     reg.Counter("refine_sweeps_total"),
+		bfsTopDown:       reg.Counter(`bfs_steps_total{direction="topdown"}`),
+		bfsBottomUp:      reg.Counter(`bfs_steps_total{direction="bottomup"}`),
+		bfsScannedEdges:  reg.Counter("bfs_scanned_edges_total"),
 		streamSubs:       reg.Gauge("stream_subscribers"),
 		broadcastLatency: reg.Histogram("stream_broadcast_seconds"),
 	}
@@ -229,6 +235,7 @@ func NewWithConfig(g *graph.CSR, opt core.Options, cfg Config) (*Server, error) 
 	if err := s.cat.AddPinned(DefaultGraph, g, "startup"); err != nil {
 		return nil, err
 	}
+	s.recordBFS(rep)
 	s.install(DefaultGraph, g, layout, rep, opt, core.Evaluate(g, layout), rep.Breakdown.Total)
 
 	idPrefix := ""
@@ -291,12 +298,23 @@ func (s *Server) onJobDone(j *jobs.Job) {
 		} else {
 			s.coldLayouts.Inc()
 		}
+		s.recordBFS(rep)
 	}
 	elapsed := res.Elapsed
 	if res.Report != nil {
 		elapsed = res.Report.Breakdown.Total
 	}
 	s.install(j.Graph(), j.Input(), res.Layout, res.Report, j.Config().Layout, res.Quality, elapsed)
+}
+
+// recordBFS folds a cold run's traversal-direction split into the
+// BFS counters (warm runs skip the BFS phase, so their totals are zero
+// and the call is a no-op).
+func (s *Server) recordBFS(rep *core.Report) {
+	t := rep.BFSTotals()
+	s.bfsTopDown.Add(int64(t.TopDownSteps))
+	s.bfsBottomUp.Add(int64(t.BottomUpSteps))
+	s.bfsScannedEdges.Add(t.ScannedEdges)
 }
 
 // install makes (layout, report) the current view of the named graph and

@@ -220,10 +220,27 @@ func TestMetricsEndpoint(t *testing.T) {
 		`parhde_phase_seconds{phase="bfs_traversal"}`,
 		`parhde_phase_seconds{phase="total"}`,
 		"zoom_layouts_total 1",
+		`bfs_steps_total{direction="topdown"}`,
+		`bfs_steps_total{direction="bottomup"}`,
+		"bfs_scanned_edges_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)
 		}
+	}
+}
+
+// TestBFSDirectionCountersRecorded pins the startup layout's traversal
+// stats flowing into the direction counters: a cold run must record
+// top-down steps and scanned edges (bottom-up may legitimately be zero
+// on a small high-diameter graph).
+func TestBFSDirectionCountersRecorded(t *testing.T) {
+	s, _ := newTestServerPair(t, Config{})
+	if got := s.bfsTopDown.Value(); got <= 0 {
+		t.Fatalf("bfs topdown steps = %d, want > 0", got)
+	}
+	if got := s.bfsScannedEdges.Value(); got <= 0 {
+		t.Fatalf("bfs scanned edges = %d, want > 0", got)
 	}
 }
 
